@@ -1,0 +1,32 @@
+"""Figure 6: matrix add / multiply execution time, Gdev vs HIX.
+
+Paper reference points: matrix addition is crypto-bound (about 2.5x
+slower under HIX across sizes), matrix multiplication is compute-bound
+(+6.34% at 11264x11264).
+"""
+
+import pytest
+
+from repro.evalkit.figures import figure6
+
+INFLATION = 256.0
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6(benchmark, publish):
+    panels = benchmark.pedantic(figure6, kwargs={"inflation": INFLATION},
+                                rounds=1, iterations=1)
+    text = panels["add"].render() + "\n\n" + panels["mul"].render()
+    publish("figure6", text,
+            data={key: panel.to_dict() for key, panel in panels.items()})
+
+    add, mul = panels["add"], panels["mul"]
+    # Shape assertions (the reproduction's acceptance criteria).
+    assert add.series["slowdown_x"][-1] > 2.5      # add: crypto-bound
+    avg_add = sum(add.series["slowdown_x"]) / len(add.series["slowdown_x"])
+    assert 1.8 < avg_add < 3.2                     # paper: ~2.5x
+    assert mul.series["slowdown_x"][-1] < 1.10     # mul@11264: paper +6.34%
+    # Crossover structure: overhead decreases with size for mul,
+    # increases for add.
+    assert mul.series["slowdown_x"][0] > mul.series["slowdown_x"][-1]
+    assert add.series["slowdown_x"][0] < add.series["slowdown_x"][-1]

@@ -1,0 +1,34 @@
+"""Figure 6 decomposition: where the HIX overhead actually goes.
+
+The paper's analysis: "the majority of performance overheads in HIX are
+from the authenticated encryption overheads between the user enclave
+and GPU" (for addition), while multiplication's compute swamps them.
+"""
+
+import pytest
+
+from repro.evalkit.figures import figure6_breakdown
+from repro.evalkit.report import render_table
+
+INFLATION = 256.0
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_breakdown(benchmark, publish):
+    breakdown = benchmark.pedantic(
+        figure6_breakdown, kwargs={"inflation": INFLATION, "dim": 8192},
+        rounds=1, iterations=1)
+    categories = sorted({cat for run in breakdown.values() for cat in run})
+    rows = [[run] + [f"{breakdown[run].get(cat, 0.0):.2f}"
+                     for cat in categories]
+            for run in sorted(breakdown)]
+    publish("figure6_breakdown", render_table(
+        "Figure 6 decomposition @8192 (ms per category)",
+        ["run"] + categories, rows), data=breakdown)
+
+    hix_add = breakdown["hix-add"]
+    hix_mul = breakdown["hix-mul"]
+    crypto = lambda run: (run.get("copy_h2d", 0) + run.get("copy_d2h", 0)
+                          + run.get("crypto_gpu", 0))
+    assert crypto(hix_add) / sum(hix_add.values()) > 0.6
+    assert hix_mul["gpu_compute"] / sum(hix_mul.values()) > 0.7

@@ -1,0 +1,34 @@
+"""Figure 7: Rodinia single-user execution time, Gdev vs HIX.
+
+Paper reference points: 26.8% slower on average; worst cases BP +81.5%,
+NW +70.1%, PF +154%; GS comparable; HS/LUD/NN slightly faster under HIX
+(lower task-initialization cost).
+"""
+
+import pytest
+
+from repro.evalkit.figures import figure7
+
+INFLATION = 256.0
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7(benchmark, publish):
+    data = benchmark.pedantic(figure7, kwargs={"inflation": INFLATION},
+                              rounds=1, iterations=1)
+    publish("figure7", data.render(), data=data)
+
+    overhead = dict(zip(data.x_labels, data.series["overhead_pct"]))
+    # Worst cases, in the paper's order of severity.
+    assert overhead["PF"] > overhead["BP"] > overhead["NW"] > 60.0
+    assert overhead["BP"] == pytest.approx(81.5, abs=8.0)
+    assert overhead["NW"] == pytest.approx(70.1, abs=8.0)
+    assert overhead["PF"] > 110.0        # paper: +154% (transfer-bound cap)
+    # GS: comparable performance (high compute-to-communication ratio).
+    assert abs(overhead["GS"]) < 10.0
+    # HS, LUD, NN: faster under HIX.
+    for app in ("HS", "LUD", "NN"):
+        assert overhead[app] < 0.0, f"{app} should be faster under HIX"
+    # Mean per-app overhead near the paper's 26.8%.
+    mean = sum(overhead.values()) / len(overhead)
+    assert mean == pytest.approx(26.8, abs=6.0)

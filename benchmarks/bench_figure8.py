@@ -1,0 +1,27 @@
+"""Figure 8: two concurrent users, normalized to 1-user Gdev.
+
+Paper reference point: HIX parallel execution about 45.2% worse than
+parallel Gdev with two users, but still better than serving the users
+sequentially.
+"""
+
+import pytest
+
+from repro.evalkit.figures import figure8
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8(benchmark, publish):
+    data = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    publish("figure8", data.render(), data=data)
+
+    gdev = data.series["Gdev"]
+    hix = data.series["HIX"]
+    seq = data.series["HIX-sequential"]
+    degradation = (sum(hix) / len(hix)) / (sum(gdev) / len(gdev)) - 1.0
+    assert degradation == pytest.approx(0.452, abs=0.10)
+    # Parallel HIX beats sequential service for every app (Section 5.4).
+    for app, h, s in zip(data.x_labels, hix, seq):
+        assert h < s, f"{app}: parallel should beat sequential"
+    # Parallel Gdev with 2 users stays below 2x of one user.
+    assert all(value < 2.0 for value in gdev)

@@ -1,0 +1,24 @@
+"""Figure 9: four concurrent users, normalized to 1-user Gdev.
+
+Paper reference point: HIX parallel execution about 39.7% worse than
+parallel Gdev with four users.
+"""
+
+import pytest
+
+from repro.evalkit.figures import figure9
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9(benchmark, publish):
+    data = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    publish("figure9", data.render(), data=data)
+
+    gdev = data.series["Gdev"]
+    hix = data.series["HIX"]
+    degradation = (sum(hix) / len(hix)) / (sum(gdev) / len(gdev)) - 1.0
+    assert degradation == pytest.approx(0.397, abs=0.12)
+    for app, h, s in zip(data.x_labels, hix, data.series["HIX-sequential"]):
+        assert h < s, f"{app}: parallel should beat sequential"
+    # Four users on one GPU: everyone lands below 4x serial.
+    assert all(value < 4.0 for value in gdev)

@@ -1,0 +1,51 @@
+"""Tables 1-5: regenerate every table the paper prints.
+
+Tables 1-3 are structural (cross-checked against the live machine);
+Tables 4 and 5 carry the experiment definitions the figures consume.
+"""
+
+import pytest
+
+from repro.evalkit.tables import table1, table2, table3, table4, table5
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1(benchmark, publish):
+    data = benchmark.pedantic(table1, rounds=1, iterations=1)
+    publish("table1", data.render())
+    assert len(data.rows) == 6  # the paper's six changed components
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2(benchmark, publish):
+    data = benchmark.pedantic(table2, rounds=1, iterations=1)
+    publish("table2", data.render())
+    surfaces = {row[1] for row in data.rows}
+    assert any("MMIO" in s for s in surfaces)
+    assert any("DMA" in s for s in surfaces)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table3(benchmark, publish):
+    data = benchmark.pedantic(table3, rounds=1, iterations=1)
+    publish("table3", data.render())
+    text = data.render()
+    assert "GTX 580" in text and "i7 6700" in text
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table4(benchmark, publish):
+    data = benchmark.pedantic(table4, rounds=1, iterations=1)
+    publish("table4", data.render())
+    totals = [row[3] for row in data.rows]
+    assert totals == ["48.00MB", "192.00MB", "768.00MB", "1452.00MB"]
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table5(benchmark, publish):
+    data = benchmark.pedantic(table5, rounds=1, iterations=1)
+    publish("table5", data.render())
+    assert len(data.rows) == 9
+    text = data.render()
+    for code in ("BP", "BFS", "GS", "HS", "LUD", "NW", "NN", "PF", "SRAD"):
+        assert code in text

@@ -1,0 +1,43 @@
+"""Shared infrastructure for the benchmark drivers.
+
+Each benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding experiment (timed by pytest-benchmark), prints the
+same rows/series the paper reports, and saves the rendered text under
+``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def publish(artifact_dir, capsys):
+    """Print a rendered artifact and persist it for EXPERIMENTS.md.
+
+    When *data* (anything with ``to_dict()`` or a plain dict) is given,
+    a machine-readable JSON twin is written next to the text artifact
+    for downstream plotting pipelines.
+    """
+    import json
+
+    def _publish(name: str, text: str, data=None) -> None:
+        (artifact_dir / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            payload = data.to_dict() if hasattr(data, "to_dict") else data
+            (artifact_dir / f"{name}.json").write_text(
+                json.dumps(payload, indent=2) + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _publish

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""A privileged adversary attacks both GPU stacks (paper Section 5.5).
+
+Walks through every attack class of the paper's Figure 10 analysis —
+mounted with real OS-level primitives against the simulated hardware —
+and shows each succeed on the unsecure Gdev baseline and fail on HIX.
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro.evalkit.security import (
+    render_attack_matrix,
+    run_attack_matrix,
+)
+
+NARRATIVE = """
+Threat model (paper Section 3.1): the adversary controls the OS kernel
+and drivers.  It can run ring-0 code, map any physical address, rewrite
+page tables and PCIe config space, reprogram the IOMMU, and kill any
+process.  The CPU package and the GPU card are trusted hardware.
+
+Each attack below is executed twice, against:
+  * the Gdev baseline — the conventional driver-in-the-kernel stack;
+  * HIX — the GPU enclave owns the GPU behind EGCREATE/EGADD (GECS and
+    TGMR), the extended page-table walker, PCIe MMIO lockdown, and
+    OCB-AES sealed channels.
+"""
+
+
+def main():
+    print(NARRATIVE)
+    print("mounting attacks (each builds fresh machines)...\n")
+    results = run_attack_matrix()
+    print(render_attack_matrix(results))
+
+    defended = sum(1 for result in results if result.defended)
+    print(f"\n{defended}/{len(results)} attack classes defended by HIX, "
+          f"while all succeed against the baseline.")
+    print("Out of scope (paper Section 3.2): physical attacks on "
+          "PCIe/GPU, side channels, denial of service.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 660 via pyproject.toml where available; this
+shim lets `python setup.py develop` work in fully-offline environments.
+"""
+from setuptools import setup
+
+setup()

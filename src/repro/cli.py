@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users one entry point to every experiment::
+
+    python -m repro tables                 # Tables 1-5
+    python -m repro figures 7              # regenerate Figure 7
+    python -m repro attacks                # the Section 5.5 attack matrix
+    python -m repro ablations              # design-choice ablations
+    python -m repro run pathfinder --mode hix   # one workload, w/ breakdown
+    python -m repro list                   # available workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+DEFAULT_INFLATION = 256.0
+
+
+def _workload_by_name(name: str):
+    from repro.workloads import MatrixAdd, MatrixMul, rodinia_workloads
+    catalog = {w.name: w for w in rodinia_workloads()}
+    catalog.update({w.app_code.lower(): w for w in rodinia_workloads()})
+    for dim in (2048, 4096, 8192, 11264):
+        catalog[f"matrix-add-{dim}"] = MatrixAdd(dim)
+        catalog[f"matrix-mul-{dim}"] = MatrixMul(dim)
+    workload = catalog.get(name.lower())
+    if workload is None:
+        raise SystemExit(
+            f"unknown workload {name!r}; try: {', '.join(sorted(catalog))}")
+    return workload
+
+
+def cmd_tables(args) -> int:
+    from repro.evalkit.tables import all_tables
+    for table in all_tables():
+        print(table.render())
+        print()
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.evalkit import figures
+    which = args.figure
+    if which in ("6", "all"):
+        panels = figures.figure6(inflation=args.inflation)
+        print(panels["add"].render())
+        print()
+        print(panels["mul"].render())
+        print()
+    if which in ("7", "all"):
+        print(figures.figure7(inflation=args.inflation).render())
+        print()
+    if which in ("8", "all"):
+        print(figures.figure8().render())
+        print()
+    if which in ("9", "all"):
+        print(figures.figure9().render())
+        print()
+    return 0
+
+
+def cmd_attacks(args) -> int:
+    from repro.evalkit.security import (
+        render_attack_matrix,
+        run_attack_matrix,
+    )
+    results = run_attack_matrix()
+    print(render_attack_matrix(results))
+    return 0 if all(r.defended for r in results) else 1
+
+
+def cmd_ablations(args) -> int:
+    from repro.evalkit.figures import ablation_pipelining, ablation_single_copy
+    print(ablation_pipelining(inflation=args.inflation).render())
+    print()
+    print(ablation_single_copy(inflation=args.inflation).render())
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.evalkit.harness import run_single
+    workload = _workload_by_name(args.workload)
+    result = run_single(workload, args.mode, args.inflation)
+    print(f"{workload.name} on {args.mode}: "
+          f"{result.milliseconds:.3f} ms simulated")
+    for category, seconds in sorted(result.breakdown.items(),
+                                    key=lambda kv: -kv[1]):
+        print(f"  {category:<16} {seconds * 1e3:10.3f} ms")
+    print(f"  launches: {result.actual_launches} functional "
+          f"/ {result.modeled_launches} modeled")
+    return 0
+
+
+def cmd_costs(args) -> int:
+    from dataclasses import fields
+    from repro.sim.costs import CostModel
+    costs = CostModel()
+    print("Calibrated cost model (repro.sim.costs.CostModel):")
+    for field in fields(CostModel):
+        if field.name == "extras":
+            continue
+        value = getattr(costs, field.name)
+        if "bandwidth" in field.name:
+            print(f"  {field.name:<32} {value / (1 << 30):8.2f} GB/s")
+        elif isinstance(value, float):
+            print(f"  {field.name:<32} {value * 1e6:10.1f} us")
+        else:
+            print(f"  {field.name:<32} {value}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Assemble benchmarks/out/*.txt into one experiment report."""
+    import pathlib
+    out_dir = pathlib.Path(args.artifacts)
+    artifacts = sorted(out_dir.glob("*.txt"))
+    if not artifacts:
+        print(f"no artifacts in {out_dir}; run "
+              f"`pytest benchmarks/ --benchmark-only` first")
+        return 1
+    for path in artifacts:
+        print(path.read_text())
+        print("-" * 72)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.evalkit.validation import validate_reproduction
+    report = validate_reproduction(inflation=args.inflation,
+                                   progress=lambda msg: print(msg))
+    print()
+    print(report.render())
+    return 0 if report.all_hold else 1
+
+
+def cmd_list(args) -> int:
+    from repro.workloads import MATRIX_SIZES, rodinia_workloads
+    print("Rodinia applications (Table 5):")
+    for workload in rodinia_workloads():
+        print(f"  {workload.name:<18} ({workload.app_code}) "
+              f"{workload.problem_desc}")
+    print("Matrix microbenchmarks (Table 4):")
+    for dim in MATRIX_SIZES:
+        print(f"  matrix-add-{dim}, matrix-mul-{dim}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HIX (ASPLOS'19) reproduction: experiments and demos")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1-5").set_defaults(
+        fn=cmd_tables)
+
+    figures = sub.add_parser("figures", help="regenerate Figures 6-9")
+    figures.add_argument("figure", choices=["6", "7", "8", "9", "all"],
+                         nargs="?", default="all")
+    figures.add_argument("--inflation", type=float,
+                         default=DEFAULT_INFLATION)
+    figures.set_defaults(fn=cmd_figures)
+
+    sub.add_parser("attacks",
+                   help="execute the Section 5.5 attack matrix"
+                   ).set_defaults(fn=cmd_attacks)
+
+    ablations = sub.add_parser("ablations", help="design-choice ablations")
+    ablations.add_argument("--inflation", type=float,
+                           default=DEFAULT_INFLATION)
+    ablations.set_defaults(fn=cmd_ablations)
+
+    run = sub.add_parser("run", help="run one workload")
+    run.add_argument("workload")
+    run.add_argument("--mode", choices=["gdev", "hix"], default="hix")
+    run.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
+    run.set_defaults(fn=cmd_run)
+
+    sub.add_parser("list", help="list available workloads").set_defaults(
+        fn=cmd_list)
+
+    validate = sub.add_parser(
+        "validate", help="grade every paper claim against measured values")
+    validate.add_argument("--inflation", type=float,
+                          default=DEFAULT_INFLATION)
+    validate.set_defaults(fn=cmd_validate)
+
+    sub.add_parser("costs", help="print the calibrated cost model"
+                   ).set_defaults(fn=cmd_costs)
+
+    report = sub.add_parser(
+        "report", help="assemble benchmark artifacts into one report")
+    report.add_argument("--artifacts", default="benchmarks/out")
+    report.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

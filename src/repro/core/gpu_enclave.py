@@ -1,0 +1,400 @@
+"""The GPU enclave: the relocated, trusted GPU driver (paper Section 4.2).
+
+One user-space process hosts an SGX enclave containing the Gdev-derived
+driver.  At boot it:
+
+1. loads and initializes its enclave (measured, attestable),
+2. has the benign kernel stub map the GPU's MMIO regions,
+3. executes ``EGCREATE`` (binding the GPU, engaging MMIO lockdown) and
+   ``EGADD`` for every MMIO page (populating the TGMR),
+4. reads the GPU BIOS through the expansion ROM and verifies it against
+   the vendor-published hash (Section 4.2.2),
+5. resets the GPU to purge any pre-existing state.
+
+After boot it is the *sole* software able to touch the GPU, and serves
+user enclaves over the untrusted channel: attested key-exchange hellos,
+then sealed requests (malloc/free/memcpy/module-load/launch/teardown),
+maintaining one GPU context and one session key per user (Section 4.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core import protocol
+from repro.core.channel import (
+    BULK_OFFSET,
+    ChannelEnd,
+    MessageQueue,
+    REPLY_OFFSET,
+    REQUEST_OFFSET,
+    SharedMemoryRegion,
+)
+from repro.core.key_exchange import (
+    DiffieHellman,
+    SessionCrypto,
+    bind_report_data,
+    build_session_crypto,
+    check_binding,
+    derive_key,
+    dh_bytes_to_int,
+    int_to_dh_bytes,
+)
+from repro.crypto.blob import open_blob, seal_blob, sealed_size
+from repro.errors import (
+    AttestationError,
+    DriverError,
+    GpuUnavailable,
+    ProtocolError,
+)
+from repro.gdev.driver import GdevDriver, GdevContextHandle, GdevModule
+from repro.gpu.bios import bios_hash, is_valid_rom
+from repro.gpu.commands import CommandOpcode, encode_command
+from repro.gpu.device import SimGpu
+from repro.gpu.module import CubinImage
+from repro.gpu.regs import REG_RESET, RESET_MAGIC, ROM_SIZE
+from repro.hw.phys_mem import PAGE_SIZE
+from repro.osmodel.driver_stub import map_gpu_mmio
+from repro.osmodel.kernel import Kernel
+from repro.osmodel.process import Process
+from repro.pcie.root_complex import RootComplex
+from repro.sgx.attestation import verify_local_report
+from repro.sgx.enclave import EnclaveImage
+from repro.sgx.instructions import SgxUnit
+
+#: The GPU enclave's code identity ("provided by the GPU vendor", §5.5).
+GPU_ENCLAVE_CODE = (b"HIX GPU enclave driver v1.0 -- Gdev-based trusted "
+                    b"CUDA runtime relocated from the OS kernel")
+
+CRYPTO_KERNELS = ["hix.aead_decrypt", "hix.aead_encrypt"]
+
+logger = logging.getLogger(__name__)
+
+
+def gpu_enclave_image() -> EnclaveImage:
+    """The loadable (and measurable) GPU enclave image."""
+    return EnclaveImage.from_code("gpu-enclave", GPU_ENCLAVE_CODE,
+                                  heap_pages=8)
+
+
+@dataclass
+class Session:
+    """Service-side state for one connected user enclave."""
+
+    session_id: int
+    user_measurement: bytes
+    crypto: SessionCrypto
+    ctx: GdevContextHandle
+    end: ChannelEnd
+    crypto_module: GdevModule
+    modules: Dict[int, GdevModule] = field(default_factory=dict)
+    module_ids: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    closed: bool = False
+
+
+class GpuEnclaveService:
+    """The GPU enclave process and its request-serving loop."""
+
+    def __init__(self, kernel: Kernel, sgx: SgxUnit,
+                 root_complex: RootComplex, gpu: SimGpu,
+                 expected_bios_hash: bytes,
+                 suite_name: str = "fast-auth",
+                 region_size: int = 4 << 20) -> None:
+        self._kernel = kernel
+        self._sgx = sgx
+        self._root_complex = root_complex
+        self._gpu = gpu
+        self._expected_bios_hash = expected_bios_hash
+        self._suite_name = suite_name
+        self._region_size = region_size
+
+        self.process: Optional[Process] = None
+        self.enclave = None
+        self.driver: Optional[GdevDriver] = None
+        self.sessions: Dict[int, Session] = {}
+        self.alive = False
+        self.bios_measurement: Optional[bytes] = None
+        self._regions = None
+
+    # ------------------------------------------------------------------ boot
+
+    def boot(self) -> "GpuEnclaveService":
+        """Run the full secure-initialization sequence (Sections 4.2-4.3)."""
+        self.process = self._kernel.create_process("gpu-enclave")
+        self.enclave = self._kernel.load_enclave(self.process,
+                                                 gpu_enclave_image())
+        # Benign kernel service: assign virtual addresses for the MMIO.
+        self._regions = map_gpu_mmio(self._kernel, self._root_complex,
+                                     self._gpu.bdf, self.process)
+        # EGCREATE: bind the GPU, freeze PCIe routing (MMIO lockdown).
+        self._sgx.egcreate(self.enclave.enclave_id, self._gpu.bdf)
+        # EGADD: register every MMIO page in the TGMR.
+        for region in self._regions.values():
+            self._sgx.egadd(self.enclave.enclave_id, region.vaddr,
+                            region.paddr, npages=region.size // PAGE_SIZE)
+        # Measure the GPU BIOS through the (now exclusive) MMIO path.
+        self.driver = GdevDriver(self._kernel, self._root_complex, self._gpu,
+                                 process=self.process, enclave_mode=True,
+                                 regions=self._regions, costs=None)
+        rom = self.driver.channel.read_expansion_rom(ROM_SIZE)
+        if not is_valid_rom(rom):
+            raise AttestationError("GPU expansion ROM is structurally invalid")
+        self.bios_measurement = bios_hash(rom)
+        if self.bios_measurement != self._expected_bios_hash:
+            raise AttestationError(
+                "GPU BIOS failed measurement: device firmware was modified "
+                "before GPU-enclave initialization")
+        # Reset the GPU to purge any pre-existing (potentially malicious)
+        # state, then rebuild driver bookkeeping over the clean device.
+        self.driver.channel.reg_write(REG_RESET, RESET_MAGIC)
+        self.driver = GdevDriver(self._kernel, self._root_complex, self._gpu,
+                                 process=self.process, enclave_mode=True,
+                                 regions=self._regions, costs=None)
+        self.alive = True
+        logger.info(
+            "GPU enclave up: device=%s enclave=%d tgmr_pages=%d lockdown=%s",
+            self._gpu.bdf, self.enclave.enclave_id,
+            len(self._sgx.hix.tgmr_entries),
+            self._root_complex.lockdown_active_for(str(self._gpu.bdf)))
+        return self
+
+    @property
+    def measurement(self) -> bytes:
+        return self.enclave.measurement
+
+    # ------------------------------------------------------- channel plumbing
+
+    def open_channel(self, user_process: Process) -> ChannelEnd:
+        """Provision the untrusted media for one user enclave."""
+        region = SharedMemoryRegion(self._kernel, self._region_size)
+        region.attach(user_process)
+        region.attach(self.process)
+        return ChannelEnd(
+            region=region,
+            to_service=MessageQueue(f"to-service:{user_process.pid}"),
+            to_user=MessageQueue(f"to-user:{user_process.pid}"),
+            user_process=user_process,
+        )
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise GpuUnavailable("GPU enclave is not running")
+
+    # --------------------------------------------------- session establishment
+
+    def handle_hello(self, end: ChannelEnd) -> None:
+        """Process a hello: verify the user's report, run the 3-party DH."""
+        self._check_alive()
+        note = end.to_service.recv()
+        if note.kind != "hello":
+            raise ProtocolError(f"expected hello, got {note.kind!r}")
+        raw = end.region.read(self.process, note.offset, note.length,
+                              enclave_mode=True)
+        hello = protocol.decode_message(raw)
+        report = _report_from_wire(hello["report"])
+        # Local attestation: only a genuine enclave on this platform can
+        # produce a report MACed for *our* measurement.
+        verify_local_report(self._sgx, self.enclave.enclave_id, report)
+        a_bytes = bytes.fromhex(hello["dh_a"])
+        check_binding(report.report_data, a_bytes)
+        a_value = dh_bytes_to_int(a_bytes)
+
+        # Create this user's GPU context and run the GPU leg of the DH.
+        ctx = self.driver.create_context(end.user_process)
+        dh_e = DiffieHellman(seed=b"gpu-enclave-%d" % ctx.ctx_id)
+        b_value = dh_e.raise_value(a_value)
+        resp_va = self.driver.malloc(ctx, 512)
+        self.driver.channel.submit([encode_command(
+            CommandOpcode.KEY_EXCHANGE, ctx.ctx_id, (resp_va,),
+            blob=int_to_dh_bytes(a_value) + int_to_dh_bytes(b_value))])
+        reply_raw = self.driver.channel.aperture_read(
+            self.driver.vram_pa_of(ctx, resp_va), 512)
+        self.driver.free(ctx, resp_va, cleanse=True)
+        c_value = dh_bytes_to_int(reply_raw[:256])    # g^g
+        d_value = dh_bytes_to_int(reply_raw[256:])    # g^(ug)
+        session_key = derive_key(dh_e.raise_value(d_value))
+        e_value = dh_e.raise_value(c_value)           # g^(ge), for the user
+
+        crypto = build_session_crypto(session_key, self._suite_name)
+        crypto_module = self.driver.load_module(
+            ctx, CubinImage(list(CRYPTO_KERNELS)), via_mmio=True)
+        session = Session(session_id=end.user_process.pid,
+                          user_measurement=report.measurement,
+                          crypto=crypto, ctx=ctx, end=end,
+                          crypto_module=crypto_module)
+        self.sessions[session.session_id] = session
+        end.session_id = session.session_id
+        logger.info("session %d established: user measurement %s..., ctx %d",
+                    session.session_id, report.measurement.hex()[:16],
+                    ctx.ctx_id)
+
+        e_bytes = int_to_dh_bytes(e_value)
+        reply_report = self._sgx.ereport(
+            self.enclave.enclave_id, report.measurement,
+            bind_report_data(e_bytes, a_bytes))
+        reply = protocol.encode_message({
+            "report": _report_to_wire(reply_report),
+            "dh_e": e_bytes.hex(),
+            "ctx_id": ctx.ctx_id,
+        })
+        end.region.write(self.process, REPLY_OFFSET, reply, enclave_mode=True)
+        end.to_user.send("hello-ack", REPLY_OFFSET, len(reply))
+
+    # ----------------------------------------------------------- request loop
+
+    def poll(self, end: ChannelEnd) -> None:
+        """Serve one pending request notification on *end*."""
+        self._check_alive()
+        session = self.sessions.get(end.session_id)
+        if session is None or session.closed:
+            raise GpuUnavailable("no live session on this channel")
+        note = end.to_service.recv()
+        if note.kind != "request":
+            raise ProtocolError(f"expected request, got {note.kind!r}")
+        sealed = end.region.read(self.process, note.offset, note.length,
+                                 enclave_mode=True)
+        raw = open_blob(session.crypto.request_suite, sealed,
+                        associated_data=protocol.REQUEST_AAD,
+                        replay_guard=session.crypto.request_guard)
+        request = protocol.decode_message(raw)
+        op = protocol.check_request(request)
+        try:
+            result = self._dispatch(session, op, request)
+        except DriverError as exc:
+            # Request-level failures (allocation, bad pointers, device
+            # faults) are reported back to the user enclave as sealed
+            # error replies; authentication failures above still raise —
+            # those are attacks, not requests.
+            result = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        reply = seal_blob(session.crypto.reply_suite,
+                          session.crypto.reply_nonces,
+                          protocol.encode_message(result),
+                          associated_data=protocol.REPLY_AAD)
+        end.region.write(self.process, REPLY_OFFSET, reply, enclave_mode=True)
+        end.to_user.send("reply", REPLY_OFFSET, len(reply))
+
+    def _dispatch(self, session: Session, op: str, request: dict) -> dict:
+        if op == protocol.OP_MALLOC:
+            gpu_va = self.driver.malloc(session.ctx, int(request["nbytes"]))
+            return {"ok": True, "gpu_va": gpu_va}
+        if op == protocol.OP_FREE:
+            # HIX cleanses deallocated device memory (Section 4.5).
+            self.driver.free(session.ctx, int(request["gpu_va"]), cleanse=True)
+            return {"ok": True}
+        if op == protocol.OP_MEMCPY_HTOD:
+            return self._memcpy_htod(session, int(request["gpu_va"]),
+                                     int(request["blob_len"]))
+        if op == protocol.OP_MEMCPY_DTOH:
+            return self._memcpy_dtoh(session, int(request["gpu_va"]),
+                                     int(request["nbytes"]))
+        if op == protocol.OP_MODULE_LOAD:
+            module = self.driver.load_module(
+                session.ctx, CubinImage([str(n) for n in request["kernels"]]),
+                via_mmio=True)
+            module_id = next(session.module_ids)
+            session.modules[module_id] = module
+            return {"ok": True, "module_id": module_id}
+        if op == protocol.OP_LAUNCH:
+            module = session.modules.get(int(request["module_id"]))
+            if module is None:
+                raise ProtocolError("launch references unknown module")
+            self.driver.launch(
+                session.ctx, module, str(request["kernel"]),
+                protocol.decode_params(request["params"]),
+                compute_seconds=float(request.get("compute_seconds", 0.0)),
+                via_mmio=True)
+            return {"ok": True}
+        if op == protocol.OP_CTX_DESTROY:
+            self._close_session(session)
+            return {"ok": True}
+        if op == protocol.OP_SHUTDOWN:
+            self.graceful_shutdown()
+            return {"ok": True}
+        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+
+    # ----------------------------------------------- single-copy secure memcpy
+
+    def _memcpy_htod(self, session: Session, gpu_va: int,
+                     blob_len: int) -> dict:
+        """Shared memory -> GPU (ciphertext), then in-GPU decrypt (§4.4.2)."""
+        staging_va = self.driver.malloc(session.ctx, blob_len)
+        self.driver.channel.submit([encode_command(
+            CommandOpcode.MEMCPY_H2D, session.ctx.ctx_id,
+            (session.end.region.paddr + BULK_OFFSET, staging_va, blob_len))])
+        self.driver.launch(
+            session.ctx, session.crypto_module, "hix.aead_decrypt",
+            [_ptr(staging_va), blob_len, _ptr(gpu_va)], via_mmio=True)
+        self.driver.free(session.ctx, staging_va)
+        return {"ok": True, "plaintext_len": blob_len - _blob_header_len()}
+
+    def _memcpy_dtoh(self, session: Session, gpu_va: int,
+                     nbytes: int) -> dict:
+        """In-GPU encrypt, then GPU -> shared memory (ciphertext)."""
+        blob_len = sealed_size(nbytes)
+        staging_va = self.driver.malloc(session.ctx, 8 + blob_len)
+        self.driver.launch(
+            session.ctx, session.crypto_module, "hix.aead_encrypt",
+            [_ptr(gpu_va), nbytes, _ptr(staging_va)], via_mmio=True)
+        self.driver.channel.submit([encode_command(
+            CommandOpcode.MEMCPY_D2H, session.ctx.ctx_id,
+            (staging_va + 8, session.end.region.paddr + BULK_OFFSET,
+             blob_len))])
+        self.driver.free(session.ctx, staging_va, cleanse=True)
+        return {"ok": True, "blob_len": blob_len}
+
+    # ------------------------------------------------------------- termination
+
+    def _close_session(self, session: Session) -> None:
+        self.driver.destroy_context(session.ctx, cleanse=True)
+        session.closed = True
+        self.sessions.pop(session.session_id, None)
+
+    def graceful_shutdown(self) -> None:
+        """Abort work, cleanse the GPU, return it to the OS (Section 4.2.3)."""
+        for session in list(self.sessions.values()):
+            self._close_session(session)
+            session.end.to_user.send("gpu-untrusted", 0, 0)
+        self.driver.channel.reg_write(REG_RESET, RESET_MAGIC)
+        self._sgx.egdestroy(self.enclave.enclave_id)
+        self.alive = False
+
+
+def _ptr(gpu_va: int):
+    from repro.gpu.module import DevPtr
+    return DevPtr(gpu_va)
+
+
+def _blob_header_len() -> int:
+    from repro.crypto.blob import HEADER_LEN
+    return HEADER_LEN
+
+
+# -- report (de)serialization over the untrusted channel ----------------------
+
+def _report_to_wire(report) -> dict:
+    return {
+        "measurement": report.measurement.hex(),
+        "enclave_id": report.enclave_id,
+        "report_data": report.report_data.hex(),
+        "is_gpu_enclave": report.is_gpu_enclave,
+        "routing_measurement": report.routing_measurement.hex(),
+        "mac": report.mac.hex(),
+    }
+
+
+def _report_from_wire(wire: dict):
+    from repro.sgx.attestation import LocalReport
+    try:
+        return LocalReport(
+            measurement=bytes.fromhex(wire["measurement"]),
+            enclave_id=int(wire["enclave_id"]),
+            report_data=bytes.fromhex(wire["report_data"]),
+            is_gpu_enclave=bool(wire["is_gpu_enclave"]),
+            routing_measurement=bytes.fromhex(wire["routing_measurement"]),
+            mac=bytes.fromhex(wire["mac"]),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"malformed report on wire: {exc}") from exc

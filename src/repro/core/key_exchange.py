@@ -1,0 +1,112 @@
+"""Session establishment: local attestation + three-party Diffie-Hellman.
+
+Section 4.4.1: "A user enclave and the GPU enclave perform SGX-supported
+local attestation to verify each other.  Once they establish the trust
+through attestation, they create a shared symmetric key by using the
+Diffie-Hellman key exchange protocol.  As the Diffie-Hellman key
+exchange can be done among multiple parties, the GPU also participates
+in this key setup procedure and generates a shared symmetric key."
+
+Roles and values (generator g, private exponents u/e/g for user enclave,
+GPU enclave, GPU):
+
+1. user:        A = g^u                        -> GPU enclave (attested)
+2. GPU enclave: B = A^e = g^(ue), forwards (A, B) to the GPU over the
+   trusted MMIO command path.
+3. GPU:         session key K = KDF(B^g = g^(ueg)); replies C = g^g and
+   D = A^g = g^(ug) through device memory.
+4. GPU enclave: K = KDF(D^e); sends E = C^e = g^(ge) to the user
+   (attested).
+5. user:        K = KDF(E^u).
+
+All three parties then derive the same request/reply/bulk subkeys from K
+via HKDF (:func:`repro.crypto.kdf.derive_channel_keys`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crypto.dh import DiffieHellman, derive_key
+from repro.crypto.kdf import derive_channel_keys
+from repro.crypto.nonce import NonceSequence, ReplayGuard
+from repro.crypto.suite import AeadSuite, make_suite
+from repro.core import protocol
+from repro.errors import AttestationError
+
+
+@dataclass
+class SessionCrypto:
+    """One party's derived cryptographic state for a session."""
+
+    session_key: bytes
+    request_suite: AeadSuite
+    reply_suite: AeadSuite
+    bulk_suite: AeadSuite
+    request_nonces: NonceSequence
+    reply_nonces: NonceSequence
+    bulk_h2d_nonces: NonceSequence
+    bulk_d2h_nonces: NonceSequence
+    request_guard: ReplayGuard
+    reply_guard: ReplayGuard
+    bulk_h2d_guard: ReplayGuard
+    bulk_d2h_guard: ReplayGuard
+
+
+def build_session_crypto(session_key: bytes, suite_name: str) -> SessionCrypto:
+    """Expand a session key into suites, nonces, and replay guards."""
+    keys: Dict[str, bytes] = derive_channel_keys(session_key)
+    return SessionCrypto(
+        session_key=session_key,
+        request_suite=make_suite(suite_name, keys["request"]),
+        reply_suite=make_suite(suite_name, keys["reply"]),
+        bulk_suite=make_suite(suite_name, keys["bulk"]),
+        request_nonces=NonceSequence(protocol.CH_REQUEST),
+        reply_nonces=NonceSequence(protocol.CH_REPLY),
+        bulk_h2d_nonces=NonceSequence(protocol.CH_BULK_H2D),
+        bulk_d2h_nonces=NonceSequence(protocol.CH_BULK_D2H),
+        request_guard=ReplayGuard(protocol.CH_REQUEST),
+        reply_guard=ReplayGuard(protocol.CH_REPLY),
+        bulk_h2d_guard=ReplayGuard(protocol.CH_BULK_H2D),
+        bulk_d2h_guard=ReplayGuard(protocol.CH_BULK_D2H),
+    )
+
+
+def bind_report_data(*values: bytes) -> bytes:
+    """Hash DH public values into attestation report_data (anti-MITM)."""
+    digest = hashlib.sha256()
+    for value in values:
+        digest.update(len(value).to_bytes(8, "big"))
+        digest.update(value)
+    return digest.digest()
+
+
+def check_binding(report_data: bytes, *values: bytes) -> None:
+    if report_data != bind_report_data(*values):
+        raise AttestationError(
+            "attestation report does not bind the exchanged DH values "
+            "(possible man-in-the-middle)")
+
+
+def int_to_dh_bytes(value: int) -> bytes:
+    return value.to_bytes(256, "big")
+
+
+def dh_bytes_to_int(raw: bytes) -> int:
+    if len(raw) != 256:
+        raise AttestationError("DH public value must be 256 bytes")
+    return int.from_bytes(raw, "big")
+
+
+__all__ = [
+    "SessionCrypto",
+    "build_session_crypto",
+    "bind_report_data",
+    "check_binding",
+    "int_to_dh_bytes",
+    "dh_bytes_to_int",
+    "DiffieHellman",
+    "derive_key",
+]

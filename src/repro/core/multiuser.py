@@ -1,0 +1,129 @@
+"""Concurrent multi-user execution model (paper Section 4.5, Figures 8-9).
+
+Pre-Volta GPUs execute one context at a time; when several user enclaves
+share the GPU, their command streams interleave through context
+switches, and under HIX every data transfer adds in-GPU cryptography
+kernels to the stream — "the overheads from the cryptography kernel
+execution itself, increased context switches, and resource
+underutilization for small data cryptography" (Section 5.4).
+
+The model is a small discrete-event simulation: each user is a sequence
+of :class:`Segment`\\ s — ``host`` work (CPU/crypto/transfer prep that
+overlaps freely across users) and ``gpu`` work (serialized on the single
+GPU engine, FIFO-arbitrated, paying a context-switch cost whenever the
+engine changes owner).  The evaluation harness converts a workload's
+phase profile into segments via the cost model and reads off makespans.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One phase of a user's execution."""
+
+    kind: str        # "host" or "gpu"
+    duration: float  # seconds
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("host", "gpu"):
+            raise ValueError(f"segment kind must be host|gpu, got {self.kind!r}")
+        if self.duration < 0:
+            raise ValueError("segment duration must be non-negative")
+
+
+@dataclass
+class UserTimeline:
+    """Per-user result of the simulation."""
+
+    finish_time: float
+    gpu_busy: float
+    host_busy: float
+    waits: float
+
+
+def simulate_concurrent(users: Sequence[Sequence[Segment]],
+                        ctx_switch_cost: float
+                        ) -> Tuple[float, List[UserTimeline], Dict[str, float]]:
+    """Simulate *users* sharing one GPU; returns (makespan, per-user, stats).
+
+    Host segments of different users overlap fully (each user has a CPU
+    core — the testbed is 4C/8T for at most 4 users).  GPU segments
+    queue FIFO on the engine; a context switch is charged whenever the
+    engine's resident context changes (including the first occupancy of
+    a previously-used engine, matching Fermi's save/restore behaviour
+    between non-empty contexts).
+    """
+    num_users = len(users)
+    cursors = [0] * num_users           # next segment index per user
+    ready_at = [0.0] * num_users        # when the user can proceed
+    timelines = [UserTimeline(0.0, 0.0, 0.0, 0.0) for _ in range(num_users)]
+
+    gpu_free_at = 0.0
+    resident_ctx = None
+    switches = 0
+    events: List[Tuple[float, int, int]] = []  # (time, seq, user)
+    seq = itertools.count()
+    for user in range(num_users):
+        heapq.heappush(events, (0.0, next(seq), user))
+
+    while events:
+        now, _tie, user = heapq.heappop(events)
+        segments = users[user]
+        if cursors[user] >= len(segments):
+            timelines[user].finish_time = max(timelines[user].finish_time, now)
+            continue
+        segment = segments[cursors[user]]
+        cursors[user] += 1
+        if segment.kind == "host":
+            timelines[user].host_busy += segment.duration
+            finish = now + segment.duration
+        else:
+            start = max(now, gpu_free_at)
+            timelines[user].waits += start - now
+            if resident_ctx != user:
+                if resident_ctx is not None:
+                    start += ctx_switch_cost
+                    switches += 1
+                resident_ctx = user
+            finish = start + segment.duration
+            timelines[user].gpu_busy += segment.duration
+            gpu_free_at = finish
+        timelines[user].finish_time = finish
+        heapq.heappush(events, (finish, next(seq), user))
+
+    makespan = max((t.finish_time for t in timelines), default=0.0)
+    stats = {
+        "context_switches": float(switches),
+        "gpu_utilization": (sum(t.gpu_busy for t in timelines) / makespan
+                            if makespan > 0 else 0.0),
+    }
+    return makespan, timelines, stats
+
+
+def interleave_copies(total_bytes: float, chunk: float, host_rate: float,
+                      gpu_rate: float, gpu_kernel_latency: float
+                      ) -> List[Segment]:
+    """Helper: chunked secure copy as alternating host/gpu segments.
+
+    Models the multi-user behaviour where each chunk's CPU-side sealing
+    and transfer is host work but its in-GPU crypto kernel occupies the
+    engine — forcing interleaving (and context switches) with other
+    users' kernels, the effect Section 5.4 blames for the multi-user
+    overhead.
+    """
+    segments: List[Segment] = []
+    remaining = total_bytes
+    while remaining > 0:
+        this_chunk = min(chunk, remaining)
+        segments.append(Segment("host", this_chunk / host_rate, "seal+xfer"))
+        segments.append(Segment("gpu", gpu_kernel_latency
+                                + this_chunk / gpu_rate, "crypto-kernel"))
+        remaining -= this_chunk
+    return segments

@@ -1,0 +1,102 @@
+"""Inter-enclave protocol: request/reply encoding and channel constants.
+
+Control messages are small JSON-encoded dictionaries sealed with the
+session's *request*/*reply* subkeys; bulk data travels separately as
+sealed blobs under the *bulk* subkey (single-copy path).  Each direction
+has its own nonce channel so one session key can never produce a nonce
+collision, and receivers run replay guards — the "incrementing nonce ...
+to prevent replay attacks" of Section 5.5.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ProtocolError
+
+# Nonce channel ids (must match repro.gpu.device for the bulk channels).
+CH_BULK_H2D = 1   # user enclave -> GPU (sealed blobs through shared memory)
+CH_BULK_D2H = 2   # GPU -> user enclave
+CH_REQUEST = 3    # user enclave -> GPU enclave control messages
+CH_REPLY = 4      # GPU enclave -> user enclave control messages
+
+REQUEST_AAD = b"hix-request"
+REPLY_AAD = b"hix-reply"
+
+# Request operations the GPU enclave serves.
+OP_CTX_DESTROY = "ctx_destroy"
+OP_FREE = "free"
+OP_LAUNCH = "launch"
+OP_MALLOC = "malloc"
+OP_MEMCPY_DTOH = "memcpy_dtoh"
+OP_MEMCPY_HTOD = "memcpy_htod"
+OP_MODULE_LOAD = "module_load"
+OP_SHUTDOWN = "shutdown"
+
+ALL_OPS = frozenset({
+    OP_CTX_DESTROY, OP_FREE, OP_LAUNCH, OP_MALLOC,
+    OP_MEMCPY_DTOH, OP_MEMCPY_HTOD, OP_MODULE_LOAD, OP_SHUTDOWN,
+})
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """Deterministically serialize a control message."""
+    try:
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode()
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unserializable message: {exc}") from exc
+
+
+def decode_message(raw: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("message must be a JSON object")
+    return payload
+
+
+def check_request(payload: Dict[str, Any]) -> str:
+    op = payload.get("op")
+    if op not in ALL_OPS:
+        raise ProtocolError(f"unknown request op {op!r}")
+    return op
+
+
+# -- launch-parameter marshalling (JSON-safe) ---------------------------------
+
+def encode_params(params) -> list:
+    """Marshal launch parameters for transport inside a sealed request."""
+    from repro.gpu.module import DevPtr
+    encoded = []
+    for value in params:
+        if isinstance(value, DevPtr):
+            encoded.append({"t": "ptr", "v": value.addr})
+        elif isinstance(value, bool):
+            encoded.append({"t": "u64", "v": int(value)})
+        elif isinstance(value, int):
+            encoded.append({"t": "u64", "v": value})
+        elif isinstance(value, float):
+            encoded.append({"t": "f64", "v": value})
+        else:
+            raise ProtocolError(f"unsupported launch parameter {value!r}")
+    return encoded
+
+
+def decode_params(encoded) -> list:
+    from repro.gpu.module import DevPtr
+    params = []
+    for item in encoded:
+        kind = item.get("t")
+        if kind == "ptr":
+            params.append(DevPtr(int(item["v"])))
+        elif kind == "u64":
+            params.append(int(item["v"]))
+        elif kind == "f64":
+            params.append(float(item["v"]))
+        else:
+            raise ProtocolError(f"unknown parameter kind {kind!r}")
+    return params

@@ -1,0 +1,328 @@
+"""Trusted user runtime library (paper Section 4.4).
+
+"HIX provides the trusted user runtime library for applications, which
+runs in each application enclave.  This library consists of GPU APIs
+such as memory copy or GPU kernel launch operation, the security module
+containing key initialization and user data encryption, and the
+communication module for data transfers."
+
+:class:`HixApi` exposes the same CUDA-driver-API facade as the baseline
+:class:`~repro.gdev.api.GdevApi`, so application code runs unchanged on
+either stack.  Internally every operation crosses the untrusted channel
+as a sealed request, bulk data takes the single-copy pipelined path of
+Section 4.4.2, and simulated time is charged analytically from the cost
+model (pipelined encrypt-transfer overlap, in-GPU crypto kernels,
+message-queue hops), matching the prototype's measurement decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core import protocol
+from repro.core.channel import BULK_OFFSET, ChannelEnd, REQUEST_OFFSET
+from repro.core.gpu_enclave import (
+    GpuEnclaveService,
+    _report_from_wire,
+    _report_to_wire,
+)
+from repro.core.key_exchange import (
+    DiffieHellman,
+    SessionCrypto,
+    bind_report_data,
+    build_session_crypto,
+    check_binding,
+    derive_key,
+    dh_bytes_to_int,
+    int_to_dh_bytes,
+)
+from repro.crypto.blob import HEADER_LEN, open_blob, seal_blob, sealed_size
+from repro.errors import AttestationError, DriverError, ProtocolError
+from repro.gpu.module import DevPtr, ParamValue
+from repro.osmodel.kernel import Kernel
+from repro.osmodel.process import Process
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.pipeline import pipelined_time
+
+HostBuffer = Union[bytes, bytearray, np.ndarray]
+
+
+def _as_bytes(data: HostBuffer) -> bytes:
+    if isinstance(data, np.ndarray):
+        return data.tobytes()
+    return bytes(data)
+
+
+class HixModuleHandle:
+    """Client-side handle to a module resident in the user's GPU context."""
+
+    def __init__(self, module_id: int, kernel_names: Sequence[str]) -> None:
+        self.module_id = module_id
+        self.kernel_names = list(kernel_names)
+
+
+class HixApi:
+    """The trusted user runtime: CUDA-like API over the secure channel."""
+
+    secure = True
+
+    def __init__(self, kernel: Kernel, process: Process,
+                 service: GpuEnclaveService, clock: Optional[SimClock] = None,
+                 costs: Optional[CostModel] = None,
+                 expected_gpu_enclave_measurement: Optional[bytes] = None,
+                 suite_name: str = "fast-auth") -> None:
+        self._kernel = kernel
+        self._process = process
+        self._service = service
+        self._clock = clock
+        self._costs = costs
+        self._suite_name = suite_name
+        self._expected_measurement = expected_gpu_enclave_measurement
+        self._end: Optional[ChannelEnd] = None
+        self._crypto: Optional[SessionCrypto] = None
+        self._ctx_id: Optional[int] = None
+        self.user_enclave = process.enclave
+
+    # -- timing helpers ----------------------------------------------------------
+
+    def _charge(self, seconds: float, category: str) -> None:
+        if self._clock is not None and seconds > 0.0:
+            self._clock.advance(seconds, category)
+
+    def _rpc_overhead(self) -> None:
+        if self._costs is None:
+            return
+        costs = self._costs
+        self._charge(2 * costs.msgqueue_hop + 2 * costs.enclave_transition
+                     + 2 * costs.cpu_aead_setup_latency, "ipc")
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def __enter__(self) -> "HixApi":
+        """Context-manager form: attested session in, teardown on exit."""
+        if self._end is None:
+            self.cuCtxCreate()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self.cuCtxDestroy()
+        except DriverError:
+            # The service may already be gone (e.g. graceful shutdown).
+            pass
+
+    def cuInit(self) -> "HixApi":
+        return self
+
+    def cuCtxCreate(self) -> "HixApi":
+        """Attested session setup + 3-party key exchange (Section 4.4.1)."""
+        if self._end is not None:
+            raise DriverError("context already created")
+        if self._costs is not None:
+            self._charge(self._costs.hix_task_init, "task_init")
+            self._charge(self._costs.session_setup, "session_setup")
+        end = self._service.open_channel(self._process)
+        user_eid = self._process.enclave.enclave_id
+        sgx = self._kernel.sgx
+
+        dh_u = DiffieHellman(seed=b"user-%d" % self._process.pid)
+        a_bytes = int_to_dh_bytes(dh_u.public_value)
+        report = sgx.ereport(user_eid, self._service.measurement,
+                             bind_report_data(a_bytes))
+        hello = protocol.encode_message({
+            "report": _report_to_wire(report),
+            "dh_a": a_bytes.hex(),
+        })
+        end.region.write(self._process, REQUEST_OFFSET, hello,
+                         enclave_mode=True)
+        end.to_service.send("hello", REQUEST_OFFSET, len(hello))
+        self._service.handle_hello(end)
+
+        note = end.to_user.recv()
+        if note.kind != "hello-ack":
+            raise ProtocolError(f"expected hello-ack, got {note.kind!r}")
+        raw = end.region.read(self._process, note.offset, note.length,
+                              enclave_mode=True)
+        ack = protocol.decode_message(raw)
+        reply_report = _report_from_wire(ack["report"])
+        # Mutual local attestation: verify the GPU enclave's report, its
+        # identity, and that it really is a GPU enclave whose PCIe routing
+        # was measured at EGCREATE (Sections 4.4.1, 5.5).
+        from repro.sgx.attestation import verify_local_report
+        verify_local_report(sgx, user_eid, reply_report)
+        if not reply_report.is_gpu_enclave:
+            raise AttestationError("peer is not a GPU enclave")
+        if (self._expected_measurement is not None
+                and reply_report.measurement != self._expected_measurement):
+            raise AttestationError(
+                "GPU enclave measurement does not match the expected "
+                "(vendor-published) identity")
+        e_bytes = bytes.fromhex(ack["dh_e"])
+        check_binding(reply_report.report_data, e_bytes, a_bytes)
+        session_key = derive_key(dh_u.raise_value(dh_bytes_to_int(e_bytes)))
+        self._crypto = build_session_crypto(session_key, self._suite_name)
+        self._ctx_id = int(ack["ctx_id"])
+        self._end = end
+        return self
+
+    def cuCtxDestroy(self) -> None:
+        if self._end is None:
+            return
+        self._request({"op": protocol.OP_CTX_DESTROY})
+        self._end = None
+        self._crypto = None
+        self._ctx_id = None
+
+    @property
+    def ctx_id(self) -> int:
+        if self._ctx_id is None:
+            raise DriverError("no current context (call cuCtxCreate)")
+        return self._ctx_id
+
+    # -- sealed request/reply -----------------------------------------------------------
+
+    def _request(self, payload: dict) -> dict:
+        if self._end is None or self._crypto is None:
+            raise DriverError("no current context (call cuCtxCreate)")
+        self._rpc_overhead()
+        sealed = seal_blob(self._crypto.request_suite,
+                           self._crypto.request_nonces,
+                           protocol.encode_message(payload),
+                           associated_data=protocol.REQUEST_AAD)
+        self._end.region.write(self._process, REQUEST_OFFSET, sealed,
+                               enclave_mode=True)
+        self._end.to_service.send("request", REQUEST_OFFSET, len(sealed))
+        self._service.poll(self._end)
+        note = self._end.to_user.recv()
+        if note.kind == "gpu-untrusted":
+            raise DriverError("GPU enclave terminated; GPU no longer trusted")
+        raw = self._end.region.read(self._process, note.offset, note.length,
+                                    enclave_mode=True)
+        reply = protocol.decode_message(open_blob(
+            self._crypto.reply_suite, raw,
+            associated_data=protocol.REPLY_AAD,
+            replay_guard=self._crypto.reply_guard))
+        if not reply.get("ok"):
+            raise DriverError(f"GPU enclave rejected request: {reply!r}")
+        return reply
+
+    # -- memory ---------------------------------------------------------------------------
+
+    def cuMemAlloc(self, nbytes: int) -> DevPtr:
+        reply = self._request({"op": protocol.OP_MALLOC, "nbytes": nbytes})
+        return DevPtr(int(reply["gpu_va"]))
+
+    def cuMemFree(self, dptr: DevPtr) -> None:
+        self._request({"op": protocol.OP_FREE, "gpu_va": dptr.addr})
+
+    def _bulk_chunk_limit(self) -> int:
+        return self._end.region.bulk_capacity - HEADER_LEN
+
+    def cuMemcpyHtoD(self, dptr: DevPtr, data: HostBuffer) -> None:
+        """Single-copy secure host-to-device transfer (Section 4.4.2/4.4.3).
+
+        Per chunk: seal inside the user enclave, place ciphertext in the
+        inter-enclave shared memory, ask the GPU enclave to DMA it
+        straight into device memory, where the in-GPU kernel decrypts it.
+        Time is charged as the chunked pipeline of Section 5.2 (encrypt
+        overlapping transfer) plus the in-GPU decryption kernel.
+        """
+        raw = _as_bytes(data)
+        limit = self._bulk_chunk_limit()
+        offset = 0
+        while offset < len(raw) or (not raw and offset == 0):
+            chunk = raw[offset:offset + limit]
+            sealed = seal_blob(self._crypto.bulk_suite,
+                               self._crypto.bulk_h2d_nonces, chunk,
+                               associated_data=_bulk_aad(self.ctx_id))
+            self._end.region.write(self._process, BULK_OFFSET, sealed,
+                                   enclave_mode=True)
+            self._request({"op": protocol.OP_MEMCPY_HTOD,
+                           "gpu_va": dptr.addr + offset,
+                           "blob_len": len(sealed)})
+            offset += len(chunk)
+            if not raw:
+                break
+        if self._costs is not None:
+            costs = self._costs
+            modeled = costs.scaled(len(raw))
+            self._charge(costs.memcpy_request_overhead_hix, "ipc")
+            self._charge(pipelined_time(
+                modeled,
+                [costs.cpu_aead_bandwidth, costs.pcie_h2d_bandwidth],
+                costs.pipeline_chunk_bytes,
+                stage_latencies=[costs.cpu_aead_setup_latency,
+                                 costs.dma_setup_latency]), "copy_h2d")
+            self._charge(costs.gpu_aead_time(len(raw)), "crypto_gpu")
+
+    def cuMemcpyDtoH(self, dptr: DevPtr, nbytes: int) -> bytes:
+        """Single-copy secure device-to-host transfer."""
+        limit = self._bulk_chunk_limit()
+        out = bytearray()
+        offset = 0
+        while offset < nbytes:
+            chunk = min(nbytes - offset, limit)
+            reply = self._request({"op": protocol.OP_MEMCPY_DTOH,
+                                   "gpu_va": dptr.addr + offset,
+                                   "nbytes": chunk})
+            blob_len = int(reply["blob_len"])
+            if blob_len != sealed_size(chunk):
+                raise ProtocolError("unexpected sealed blob size")
+            sealed = self._end.region.read(self._process, BULK_OFFSET,
+                                           blob_len, enclave_mode=True)
+            out += open_blob(self._crypto.bulk_suite, sealed,
+                             associated_data=_bulk_aad(self.ctx_id),
+                             replay_guard=self._crypto.bulk_d2h_guard)
+            offset += chunk
+        if self._costs is not None:
+            costs = self._costs
+            modeled = costs.scaled(nbytes)
+            self._charge(costs.memcpy_request_overhead_hix, "ipc")
+            self._charge(costs.gpu_aead_time(nbytes), "crypto_gpu")
+            self._charge(pipelined_time(
+                modeled,
+                [costs.pcie_d2h_bandwidth, costs.cpu_aead_bandwidth],
+                costs.pipeline_chunk_bytes,
+                stage_latencies=[costs.dma_setup_latency,
+                                 costs.cpu_aead_setup_latency]), "copy_d2h")
+        return bytes(out)
+
+    # -- modules / kernels ---------------------------------------------------------------------
+
+    def cuModuleLoad(self, kernel_names: Sequence[str]) -> HixModuleHandle:
+        reply = self._request({"op": protocol.OP_MODULE_LOAD,
+                               "kernels": list(kernel_names)})
+        return HixModuleHandle(int(reply["module_id"]), kernel_names)
+
+    def cuLaunchKernel(self, module: HixModuleHandle, kernel_name: str,
+                       params: Sequence[ParamValue],
+                       compute_seconds: float = 0.0) -> None:
+        if self._costs is not None:
+            self._charge(self._costs.kernel_launch_hix, "launch")
+        self._request({"op": protocol.OP_LAUNCH,
+                       "module_id": module.module_id,
+                       "kernel": kernel_name,
+                       "params": protocol.encode_params(list(params)),
+                       "compute_seconds": compute_seconds})
+
+    # -- shutdown ----------------------------------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Ask the GPU enclave for a graceful termination (Section 4.2.3).
+
+        The service notifies every session (including ours) that the GPU
+        is no longer trusted before acknowledging, so the "GPU enclave
+        terminated" signal *is* the success path here.
+        """
+        try:
+            self._request({"op": protocol.OP_SHUTDOWN})
+        except DriverError as exc:
+            if "no longer trusted" not in str(exc):
+                raise
+
+
+def _bulk_aad(ctx_id: int) -> bytes:
+    return b"hix-bulk-ctx-%d" % ctx_id

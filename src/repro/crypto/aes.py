@@ -1,0 +1,189 @@
+"""AES-128 block cipher, implemented from the FIPS-197 specification.
+
+Pure-Python, table-based.  This is the reference cipher underneath the
+OCB mode in :mod:`repro.crypto.ocb`; it is deliberately simple and
+readable rather than fast (bulk simulation traffic uses the fast suite in
+:mod:`repro.crypto.suite`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+BLOCK_SIZE = 16
+_NUM_ROUNDS = 10
+
+
+def _build_sbox() -> tuple:
+    """Construct the AES S-box from GF(2^8) inversion + affine transform."""
+    # Multiplicative inverse table via exp/log tables over GF(2^8).
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply by generator 0x03
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transformation.
+        res = 0
+        for bit in range(8):
+            res |= (((inv >> bit) & 1)
+                    ^ ((inv >> ((bit + 4) % 8)) & 1)
+                    ^ ((inv >> ((bit + 5) % 8)) & 1)
+                    ^ ((inv >> ((bit + 6) % 8)) & 1)
+                    ^ ((inv >> ((bit + 7) % 8)) & 1)
+                    ^ ((0x63 >> bit) & 1)) << bit
+        sbox[value] = res
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return tuple(sbox), tuple(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES128:
+    """AES-128 with both block encryption and decryption.
+
+    >>> key = bytes(range(16))
+    >>> cipher = AES128(key)
+    >>> block = b"0123456789abcdef"
+    >>> cipher.decrypt_block(cipher.encrypt_block(block)) == block
+    True
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        words = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (_NUM_ROUNDS + 1)):
+            word = list(words[i - 1])
+            if i % 4 == 0:
+                word = word[1:] + word[:1]
+                word = [_SBOX[b] for b in word]
+                word[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(word, words[i - 4])])
+        # Group words into round keys of 16 bytes each.
+        round_keys = []
+        for r in range(_NUM_ROUNDS + 1):
+            rk = []
+            for w in words[4 * r: 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    # -- round primitives ---------------------------------------------------
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int], box=_SBOX) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # State is column-major: byte (row r, col c) lives at index 4*c + r.
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[4 * col + row] = state[4 * ((col + row) % 4) + row]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[4 * ((col + row) % 4) + row] = state[4 * col + row]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[4 * col: 4 * col + 4]
+            state[4 * col + 0] = _gmul(a[0], 2) ^ _gmul(a[1], 3) ^ a[2] ^ a[3]
+            state[4 * col + 1] = a[0] ^ _gmul(a[1], 2) ^ _gmul(a[2], 3) ^ a[3]
+            state[4 * col + 2] = a[0] ^ a[1] ^ _gmul(a[2], 2) ^ _gmul(a[3], 3)
+            state[4 * col + 3] = _gmul(a[0], 3) ^ a[1] ^ a[2] ^ _gmul(a[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[4 * col: 4 * col + 4]
+            state[4 * col + 0] = (_gmul(a[0], 14) ^ _gmul(a[1], 11)
+                                  ^ _gmul(a[2], 13) ^ _gmul(a[3], 9))
+            state[4 * col + 1] = (_gmul(a[0], 9) ^ _gmul(a[1], 14)
+                                  ^ _gmul(a[2], 11) ^ _gmul(a[3], 13))
+            state[4 * col + 2] = (_gmul(a[0], 13) ^ _gmul(a[1], 9)
+                                  ^ _gmul(a[2], 14) ^ _gmul(a[3], 11))
+            state[4 * col + 3] = (_gmul(a[0], 11) ^ _gmul(a[1], 13)
+                                  ^ _gmul(a[2], 9) ^ _gmul(a[3], 14))
+
+    # -- public API ----------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, _NUM_ROUNDS):
+            self._sub_bytes(state)
+            state = self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[_NUM_ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[_NUM_ROUNDS])
+        for rnd in range(_NUM_ROUNDS - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

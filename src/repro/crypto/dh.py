@@ -1,0 +1,97 @@
+"""Finite-field Diffie-Hellman key agreement.
+
+HIX establishes a per-user-enclave session key via SGX local attestation
+followed by Diffie-Hellman, and — because DH composes across parties —
+the GPU participates in the same exchange so that the user enclave, GPU
+enclave, and GPU all hold one shared symmetric key (Section 4.4.1).
+
+The group is RFC 3526 MODP group 14 (2048-bit).  Private exponents are
+drawn from a deterministic seed when one is provided, which keeps the
+simulation reproducible, or from ``secrets`` otherwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from typing import Optional
+
+# RFC 3526, group 14: 2048-bit MODP prime, generator 2.
+MODP_2048 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF", 16)
+GENERATOR = 2
+
+_EXPONENT_BITS = 256  # short-exponent DH; standard practice for group 14
+
+
+class DiffieHellman:
+    """One party in a (possibly multi-party) Diffie-Hellman exchange."""
+
+    def __init__(self, seed: Optional[bytes] = None,
+                 prime: int = MODP_2048, generator: int = GENERATOR) -> None:
+        self._prime = prime
+        self._generator = generator
+        if seed is None:
+            self._private = secrets.randbits(_EXPONENT_BITS) | 1
+        else:
+            digest = hashlib.sha256(b"hix-dh-exponent" + seed).digest()
+            self._private = int.from_bytes(digest, "big") | 1
+        self._public = pow(generator, self._private, prime)
+
+    @property
+    def public_value(self) -> int:
+        return self._public
+
+    def raise_value(self, value: int) -> int:
+        """Apply this party's exponent to *value* (multi-party DH step)."""
+        self._check(value)
+        return pow(value, self._private, self._prime)
+
+    def shared_secret(self, peer_public: int) -> bytes:
+        """Two-party shared secret as 32 bytes (SHA-256 of g^xy)."""
+        self._check(peer_public)
+        secret = pow(peer_public, self._private, self._prime)
+        return _derive(secret)
+
+    def _check(self, value: int) -> None:
+        if not 2 <= value <= self._prime - 2:
+            raise ValueError("peer public value out of range")
+
+
+def _derive(secret: int) -> bytes:
+    length = (secret.bit_length() + 7) // 8
+    return hashlib.sha256(secret.to_bytes(length, "big")).digest()
+
+
+def derive_key(group_element: int, length: int = 16) -> bytes:
+    """Turn a DH group element into a symmetric key (SHA-256 truncation).
+
+    All three HIX parties apply this to the same g^(ueg) element so they
+    end up with identical session keys.
+    """
+    return _derive(group_element)[:length]
+
+
+def three_party_key(a: "DiffieHellman", b: "DiffieHellman",
+                    c: "DiffieHellman") -> bytes:
+    """Derive the common key of a three-party Burmester-Desmedt-style DH.
+
+    This implements the textbook iterated exchange: ``g^abc`` is computed
+    by passing each public value through the other two parties.  Used by
+    the session setup so the user enclave, GPU enclave, and GPU share one
+    OCB-AES key (Section 4.4.1: "the GPU also participates in this key
+    setup procedure").
+    """
+    g_ab = b.raise_value(a.public_value)
+    g_abc = c.raise_value(g_ab)
+    return _derive(g_abc)

@@ -1,0 +1,48 @@
+"""Key derivation and MAC helpers (HKDF-SHA256, HMAC-SHA256).
+
+Session keys from the Diffie-Hellman exchange are expanded into
+direction- and purpose-specific subkeys with HKDF, mirroring how the
+SGX-SSL based prototype derives distinct keys for the request channel
+and the bulk-data channel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+_HASH_LEN = 32
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """Plain HMAC-SHA256."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_sha256(input_key: bytes, *, salt: bytes = b"", info: bytes = b"",
+                length: int = 16) -> bytes:
+    """HKDF (RFC 5869) extract-and-expand with SHA-256."""
+    if not 1 <= length <= 255 * _HASH_LEN:
+        raise ValueError("requested HKDF length out of range")
+    prk = hmac_sha256(salt if salt else bytes(_HASH_LEN), input_key)
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def derive_channel_keys(session_key: bytes) -> dict:
+    """Derive the per-purpose subkeys of a HIX session.
+
+    Returns a dict with ``request`` (control messages user->GPU enclave),
+    ``reply`` (GPU enclave -> user), and ``bulk`` (user data that flows
+    through shared memory straight to/from the GPU) keys.
+    """
+    return {
+        purpose: hkdf_sha256(session_key, info=purpose.encode(), length=16)
+        for purpose in ("request", "reply", "bulk")
+    }

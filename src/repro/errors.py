@@ -1,0 +1,135 @@
+"""Exception hierarchy for the HIX reproduction.
+
+Every layer of the simulated machine raises a subclass of
+:class:`ReproError`, so callers can catch at whatever granularity they
+need.  Security-relevant denials all derive from :class:`AccessDenied`
+(hardware refused an access) or :class:`IntegrityError` (cryptographic
+verification failed), mirroring the two protection mechanisms the paper
+lists in its TCB table (access restriction vs. memory encryption).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the HIX reproduction."""
+
+
+# ---------------------------------------------------------------------------
+# Hardware-level errors
+# ---------------------------------------------------------------------------
+
+class HardwareError(ReproError):
+    """Base class for simulated hardware faults."""
+
+
+class BusError(HardwareError):
+    """A physical address was not claimed by DRAM or any MMIO window."""
+
+
+class AccessDenied(HardwareError):
+    """The hardware refused an access (MMU, EPCM, TGMR, root complex)."""
+
+
+class PageFault(HardwareError):
+    """Virtual address has no valid translation in the page table."""
+
+
+class TlbValidationError(AccessDenied):
+    """The page-table walker rejected a translation (SGX/HIX checks)."""
+
+
+# ---------------------------------------------------------------------------
+# PCIe errors
+# ---------------------------------------------------------------------------
+
+class PcieError(HardwareError):
+    """Base class for PCIe interconnect errors."""
+
+
+class UnsupportedRequest(PcieError):
+    """A TLP could not be routed or was rejected by its target."""
+
+
+class ConfigWriteRejected(PcieError):
+    """A config write was discarded by the MMIO lockdown filter."""
+
+
+# ---------------------------------------------------------------------------
+# SGX / HIX enclave errors
+# ---------------------------------------------------------------------------
+
+class SgxError(ReproError):
+    """Base class for SGX instruction faults."""
+
+
+class EnclaveStateError(SgxError):
+    """Instruction issued in the wrong enclave lifecycle state."""
+
+
+class EpcError(SgxError):
+    """EPC exhaustion or invalid EPC page operation."""
+
+
+class HixError(SgxError):
+    """Base class for HIX instruction (EGCREATE/EGADD) faults."""
+
+
+class GpuAlreadyOwned(HixError):
+    """EGCREATE targeted a GPU already registered to a GPU enclave."""
+
+
+class NotAGpu(HixError):
+    """EGCREATE targeted a BDF that is not a real hardware GPU."""
+
+
+class TgmrRegistrationError(HixError):
+    """EGADD rejected an invalid virtual/physical MMIO address pair."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto errors
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class IntegrityError(CryptoError):
+    """Authenticated decryption failed (bad MAC) — tampering detected."""
+
+
+class ReplayError(CryptoError):
+    """A message arrived with a stale nonce — replay detected."""
+
+
+class AttestationError(CryptoError):
+    """Local/remote attestation report failed verification."""
+
+
+# ---------------------------------------------------------------------------
+# Driver / runtime errors
+# ---------------------------------------------------------------------------
+
+class DriverError(ReproError):
+    """Base class for GPU driver (Gdev / HIX runtime) errors."""
+
+
+class OutOfDeviceMemory(DriverError):
+    """GPU VRAM allocator could not satisfy a request."""
+
+
+class InvalidDevicePointer(DriverError):
+    """A device pointer does not refer to a live allocation."""
+
+
+class KernelNotFound(DriverError):
+    """A launch referenced a kernel absent from the loaded module."""
+
+
+class GpuUnavailable(DriverError):
+    """The GPU is locked (e.g. after a GPU-enclave kill) or absent."""
+
+
+class ProtocolError(DriverError):
+    """Malformed or out-of-order inter-enclave request."""

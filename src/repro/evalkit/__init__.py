@@ -1,0 +1,27 @@
+"""Evaluation kit: regenerates every table and figure of the paper.
+
+* :mod:`repro.evalkit.harness` — runs one workload on one stack and
+  returns simulated-time results with the paper's breakdown categories.
+* :mod:`repro.evalkit.figures` — Figures 6-9 series generators.
+* :mod:`repro.evalkit.tables` — Tables 1-5.
+* :mod:`repro.evalkit.security` — the Section 5.5 attack matrix, executed.
+* :mod:`repro.evalkit.report` — plain-text rendering shared by the
+  benchmark harness and EXPERIMENTS.md generation.
+"""
+
+from repro.evalkit.harness import RunResult, run_multiuser, run_single
+from repro.evalkit.report import render_series, render_table
+from repro.evalkit.sweeps import SweepResult, sweep_cost_parameter
+from repro.evalkit.validation import ValidationReport, validate_reproduction
+
+__all__ = [
+    "run_single",
+    "run_multiuser",
+    "RunResult",
+    "render_table",
+    "render_series",
+    "sweep_cost_parameter",
+    "SweepResult",
+    "validate_reproduction",
+    "ValidationReport",
+]

@@ -1,0 +1,227 @@
+"""Figure generators: the paper's Figures 6, 7, 8, 9 (+ ablations).
+
+Each generator returns a :class:`FigureData` whose series carry the same
+quantities the paper plots; ``render()`` produces the text the benchmark
+drivers print.  Absolute values are simulated seconds on the calibrated
+testbed; EXPERIMENTS.md records how the shapes compare to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.evalkit.harness import (
+    DEFAULT_INFLATION,
+    GDEV,
+    HIX,
+    run_multiuser,
+    run_single,
+    single_user_model_time,
+)
+from repro.evalkit.report import render_series
+from repro.sim.costs import CostModel
+from repro.workloads.matrix import MATRIX_SIZES, MatrixAdd, MatrixMul
+from repro.workloads.rodinia import RODINIA_APPS, rodinia_workloads
+
+
+@dataclass
+class FigureData:
+    figure_id: str
+    title: str
+    x_labels: List[str]
+    series: Dict[str, List[float]]
+    unit: str = "ms"
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        text = render_series(f"{self.figure_id}: {self.title}",
+                             self.x_labels, self.series, unit=self.unit)
+        if self.notes:
+            text += "\n\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text
+
+    def ratio(self, over: str, under: str) -> List[float]:
+        return [a / b for a, b in zip(self.series[over], self.series[under])]
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for downstream plotting pipelines."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "unit": self.unit,
+            "x": list(self.x_labels),
+            "series": {name: list(values)
+                       for name, values in self.series.items()},
+            "notes": list(self.notes),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: matrix add / mul execution time, Gdev vs HIX
+# ---------------------------------------------------------------------------
+
+def figure6(inflation: float = DEFAULT_INFLATION,
+            sizes: Sequence[int] = MATRIX_SIZES) -> Dict[str, FigureData]:
+    """Both panels of Figure 6, keyed ``add`` and ``mul``."""
+    panels: Dict[str, FigureData] = {}
+    for key, factory, title in (
+            ("add", MatrixAdd, "matrix addition execution time"),
+            ("mul", MatrixMul, "matrix multiplication execution time")):
+        gdev_ms, hix_ms = [], []
+        for dim in sizes:
+            workload = factory(dim)
+            gdev_ms.append(run_single(workload, GDEV, inflation).milliseconds)
+            hix_ms.append(run_single(workload, HIX, inflation).milliseconds)
+        slowdowns = [h / g for g, h in zip(gdev_ms, hix_ms)]
+        panels[key] = FigureData(
+            figure_id="Figure 6 (%s)" % key,
+            title=title,
+            x_labels=[f"{d}x{d}" for d in sizes],
+            series={"Gdev": gdev_ms, "HIX": hix_ms,
+                    "slowdown_x": slowdowns},
+            notes=[f"HIX/Gdev at {sizes[-1]}: {slowdowns[-1]:.3f}x "
+                   f"(paper: add ~2.5x overall, mul +6.34% at 11264)"])
+    return panels
+
+
+def figure6_breakdown(inflation: float = DEFAULT_INFLATION,
+                      dim: int = 8192) -> Dict[str, Dict[str, float]]:
+    """Per-phase decomposition of one Figure 6 point (the stacked bars).
+
+    Returns ``{"gdev-add": {...}, "hix-add": {...}, ...}`` with
+    millisecond per-category times — showing, as the paper's analysis
+    does, that "the majority of performance overheads in HIX are from
+    the authenticated encryption overheads".
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for key, factory in (("add", MatrixAdd), ("mul", MatrixMul)):
+        for mode in (GDEV, HIX):
+            result = run_single(factory(dim), mode, inflation)
+            out[f"{mode}-{key}"] = {category: seconds * 1e3
+                                    for category, seconds
+                                    in result.breakdown.items()}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: Rodinia single-user execution time
+# ---------------------------------------------------------------------------
+
+def figure7(inflation: float = DEFAULT_INFLATION,
+            apps: Sequence[str] = RODINIA_APPS) -> FigureData:
+    gdev_ms, hix_ms = [], []
+    for workload in rodinia_workloads(apps):
+        gdev_ms.append(run_single(workload, GDEV, inflation).milliseconds)
+        hix_ms.append(run_single(workload, HIX, inflation).milliseconds)
+    overheads = [h / g - 1.0 for g, h in zip(gdev_ms, hix_ms)]
+    weighted = sum(hix_ms) / sum(gdev_ms) - 1.0
+    return FigureData(
+        figure_id="Figure 7",
+        title="Rodinia execution time, single user (Gdev vs HIX)",
+        x_labels=list(apps),
+        series={"Gdev": gdev_ms, "HIX": hix_ms,
+                "overhead_pct": [o * 100.0 for o in overheads]},
+        notes=[
+            f"mean per-app overhead: "
+            f"{sum(overheads) / len(overheads) * 100.0:+.1f}% "
+            f"(paper: HIX 26.8% slower on average)",
+            f"aggregate (total-time) overhead: {weighted * 100.0:+.1f}%",
+        ])
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 / 9: multi-user execution, normalized to 1-user Gdev
+# ---------------------------------------------------------------------------
+
+def _multiuser_figure(figure_id: str, num_users: int,
+                      apps: Sequence[str],
+                      costs: Optional[CostModel] = None) -> FigureData:
+    costs = costs or CostModel()
+    gdev_norm, hix_norm, hix_seq_norm = [], [], []
+    for workload in rodinia_workloads(apps):
+        base = single_user_model_time(workload, GDEV, costs)
+        gdev_time = run_multiuser(workload, GDEV, num_users, costs)
+        hix_time = run_multiuser(workload, HIX, num_users, costs)
+        # Sequential service: the GPU enclave handles user requests one
+        # after another (the strawman Section 5.4 compares against).
+        hix_sequential = num_users * single_user_model_time(
+            workload, HIX, costs)
+        gdev_norm.append(gdev_time / base)
+        hix_norm.append(hix_time / base)
+        hix_seq_norm.append(hix_sequential / base)
+    avg_degradation = (sum(hix_norm) / len(hix_norm)
+                       / (sum(gdev_norm) / len(gdev_norm)) - 1.0)
+    return FigureData(
+        figure_id=figure_id,
+        title=f"Rodinia with {num_users} concurrent users "
+              f"(normalized to 1-user Gdev)",
+        x_labels=list(apps),
+        series={"Gdev": gdev_norm, "HIX": hix_norm,
+                "HIX-sequential": hix_seq_norm},
+        unit="x of 1-user Gdev",
+        notes=[f"HIX vs parallel Gdev at {num_users} users: "
+               f"{avg_degradation * 100.0:+.1f}% "
+               f"(paper: +45.2% at 2 users, +39.7% at 4 users)",
+               "HIX parallel beats sequential service for every app "
+               "(paper Section 5.4)"])
+
+
+def figure8(apps: Sequence[str] = RODINIA_APPS,
+            costs: Optional[CostModel] = None) -> FigureData:
+    return _multiuser_figure("Figure 8", 2, apps, costs)
+
+
+def figure9(apps: Sequence[str] = RODINIA_APPS,
+            costs: Optional[CostModel] = None) -> FigureData:
+    return _multiuser_figure("Figure 9", 4, apps, costs)
+
+
+# ---------------------------------------------------------------------------
+# Ablations: design choices called out in DESIGN.md
+# ---------------------------------------------------------------------------
+
+def ablation_pipelining(inflation: float = DEFAULT_INFLATION,
+                        dim: int = 8192) -> FigureData:
+    """Pipelined vs serial encrypt-then-transfer (Section 5.2)."""
+    from repro.system import Machine, MachineConfig
+    results = {}
+    for label, chunk in (("pipelined-4MB", 4 << 20),
+                         ("pipelined-1MB", 1 << 20),
+                         ("serial", 1 << 62)):
+        machine = Machine(MachineConfig(
+            data_inflation=inflation,
+            costs=CostModel(pipeline_chunk_bytes=chunk)))
+        results[label] = run_single(MatrixAdd(dim), HIX, inflation,
+                                    machine=machine).milliseconds
+    return FigureData(
+        figure_id="Ablation A1",
+        title=f"matrix-add {dim}: copy pipelining (chunked encrypt||transfer)",
+        x_labels=[f"add-{dim}"],
+        series={name: [value] for name, value in results.items()},
+        notes=["serial = one chunk (no overlap); the paper pipelines "
+               "encryption of chunk n+1 with the transfer of chunk n"])
+
+
+def ablation_single_copy(inflation: float = DEFAULT_INFLATION,
+                         dim: int = 8192) -> FigureData:
+    """Single-copy vs naive double-copy memcpy (Section 4.4.2)."""
+    workload = MatrixAdd(dim)
+    single = run_single(workload, HIX, inflation)
+    costs = CostModel(data_inflation=inflation)
+    # Naive design: user data is decrypted and re-encrypted inside the
+    # GPU enclave and copied twice; model the extra CPU AEAD pass and the
+    # extra copy per direction on top of the measured single-copy run.
+    extra = (2.0 * costs.cpu_aead_time(workload.modeled_h2d / inflation)
+             + costs.h2d_time(workload.modeled_h2d / inflation)
+             + 2.0 * costs.cpu_aead_time(workload.modeled_d2h / inflation)
+             + costs.d2h_time(workload.modeled_d2h / inflation))
+    return FigureData(
+        figure_id="Ablation A2",
+        title=f"matrix-add {dim}: single-copy vs double-copy secure memcpy",
+        x_labels=[f"add-{dim}"],
+        series={"single-copy (HIX)": [single.milliseconds],
+                "double-copy (naive)": [single.milliseconds + extra * 1e3]},
+        notes=["naive: decrypt+re-encrypt in the GPU enclave and copy "
+               "again; HIX shares one key so ciphertext goes straight "
+               "from shared memory to the GPU"])

@@ -1,0 +1,60 @@
+"""Plain-text rendering of tables and figure series.
+
+Shared by the pytest-benchmark drivers (which print the same rows the
+paper reports) and by EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """ASCII table with a title rule, right-padding per column."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[index])
+                         for index, cell in enumerate(row)).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, "=" * len(title), fmt(list(headers)), rule]
+    lines += [fmt(row) for row in cells]
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_labels: Sequence[str],
+                  series: Dict[str, Sequence[float]],
+                  unit: str = "ms", bar_width: int = 40) -> str:
+    """Figure stand-in: per-x grouped values plus an ASCII bar chart."""
+    headers = ["x"] + list(series)
+    rows: List[List[object]] = []
+    peak = max((max(vals) for vals in series.values() if len(vals)),
+               default=1.0) or 1.0
+    for index, label in enumerate(x_labels):
+        rows.append([label] + [f"{series[name][index]:.3f}"
+                               for name in series])
+    table = render_table(f"{title} [{unit}]", headers, rows)
+    bars = []
+    for name, values in series.items():
+        for index, label in enumerate(x_labels):
+            width = int(round(bar_width * values[index] / peak))
+            bars.append(f"{label:>12} {name:<6} |{'#' * width}")
+    return table + "\n\n" + "\n".join(bars)
+
+
+def fmt_bytes(nbytes: float) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes / (1 << 20):.2f}MB"
+    if nbytes >= 1 << 10:
+        return f"{nbytes / (1 << 10):.2f}KB"
+    return f"{int(nbytes)}B"
+
+
+def fmt_pct(ratio: float) -> str:
+    return f"{(ratio - 1.0) * 100.0:+.1f}%"

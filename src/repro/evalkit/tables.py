@@ -1,0 +1,148 @@
+"""Table generators: the paper's Tables 1-5.
+
+Tables 1-3 are descriptive in the paper; here they are *derived from the
+live system* where possible (Table 2's protection mechanisms are checked
+against the running machine, Table 3 dumps the actual simulation
+configuration) so the reproduction can't silently drift from its own
+documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.evalkit.report import fmt_bytes, render_table
+from repro.system import Machine
+from repro.workloads.matrix import MATRIX_SIZES, matrix_data_sizes
+from repro.workloads.rodinia import rodinia_workloads
+
+
+@dataclass
+class TableData:
+    table_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        text = render_table(f"{self.table_id}: {self.title}",
+                            self.headers, self.rows)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text
+
+
+def table1() -> TableData:
+    """Required hardware and software changes for HIX (paper Table 1)."""
+    rows = [
+        ["SW", "GPU enclave", "Sole GPU control", "repro.core.gpu_enclave"],
+        ["HW", "New SGX instructions", "HW support for GPU enclave",
+         "repro.sgx.instructions (EGCREATE/EGADD)"],
+        ["HW", "Internal data structures", "HW support for GPU enclave",
+         "repro.sgx.hix_ext (GECS/TGMR)"],
+        ["HW", "MMU page table walker", "MMIO access protection",
+         "repro.hw.mmu + repro.sgx walker validator"],
+        ["HW", "PCIe root complex", "MMIO lockdown",
+         "repro.pcie.root_complex"],
+        ["SW", "Inter-enclave communication", "Trusted GPU usage for users",
+         "repro.core.channel/runtime"],
+    ]
+    return TableData("Table 1", "Required hardware and software changes",
+                     ["Type", "Changed Component", "Purpose",
+                      "Implemented in"], rows)
+
+
+def table2(machine: Optional[Machine] = None) -> TableData:
+    """HIX TCB breakdown (paper Table 2), checked against a live machine."""
+    machine = machine or Machine()
+    service = machine.boot_hix()
+    live = {
+        "epc": machine.sgx.epc.free_pages >= 0,
+        "walker": machine.mmu._validator is not None,  # noqa: SLF001
+        "lockdown": machine.root_complex.lockdown_enabled,
+        "aead": machine.config.suite_name,
+        "tgmr": len(machine.sgx.hix.tgmr_entries) > 0,
+        "gecs": len(machine.sgx.hix.gecs_entries) == 1,
+        "bios": service.bios_measurement == machine.expected_bios_hash,
+    }
+    assert all(v for k, v in live.items() if k != "aead"), live
+    rows = [
+        ["GPU Enclave", "Memory access", "SGX EPC protection", "-"],
+        ["GECS & TGMR", "MemAcc. & HIX instructions",
+         "SGX EPC protection", "-"],
+        ["GPU BIOS", "MMIO", "MMU (walker + TGMR), measured", "-"],
+        ["GPU Registers", "MMIO", "MMU (walker + TGMR)", "-"],
+        ["GPU Memory", "MMIO & DMA", "MMU", "OCB-AES"],
+        ["PCIe Infrastructure", "MMIO", "PCIe root complex lockdown", "-"],
+        ["User Enclave & HIX Library", "MemAcc.", "SGX EPC protection", "-"],
+        ["Inter-Enclave Shared Memory", "MemAcc. & DMA", "-", "OCB-AES"],
+    ]
+    return TableData(
+        "Table 2", "HIX Trusted Computing Base breakdown",
+        ["Component", "Software Attack Surface", "Access Restriction",
+         "Memory Encryption"],
+        rows,
+        notes=[f"verified live: walker validator installed, lockdown "
+               f"engaged on {service.driver and '01:00.0'}, "
+               f"{len(machine.sgx.hix.tgmr_entries)} TGMR pages, BIOS "
+               f"measurement matches vendor hash; AEAD suite "
+               f"{live['aead']!r} (timing charged at OCB-AES rates)"])
+
+
+def table3(machine: Optional[Machine] = None) -> TableData:
+    """Prototype system configuration (paper Table 3), simulated analogue."""
+    machine = machine or Machine()
+    config = machine.config
+    costs = machine.costs
+    rows = [
+        ["Platform", "Paper: KVM-SGX/QEMU-SGX on i7-6700",
+         "Simulated machine (repro.system.Machine)"],
+        ["OS", "Ubuntu 16.04 host+guest", "Simulated kernel (repro.osmodel)"],
+        ["CPU", "Intel Core i7 6700 3.40GHz 4C/8T",
+         f"SGX unit w/ {config.epc_size >> 20} MiB EPC, HIX instructions"],
+        ["GPU", "NVIDIA GeForce GTX 580 (1.5 GB)",
+         f"SimGpu, {config.vram_size_modeled >> 20} MiB VRAM (modeled)"],
+        ["Interconnect", "PCIe (IOH3420 root port)",
+         f"PCIe tree, H2D {costs.pcie_h2d_bandwidth / 2**30:.1f} GB/s, "
+         f"D2H {costs.pcie_d2h_bandwidth / 2**30:.1f} GB/s"],
+        ["SGX SDK", "SGX SDK 2.0 + SGX-SSL",
+         f"CPU AEAD {costs.cpu_aead_bandwidth / 2**30:.2f} GB/s, "
+         f"GPU AEAD {costs.gpu_aead_bandwidth / 2**30:.1f} GB/s"],
+        ["Data scaling", "n/a (real hardware)",
+         f"inflation x{config.data_inflation:g} "
+         f"(functional bytes = modeled / inflation)"],
+    ]
+    return TableData("Table 3", "Prototype system configurations",
+                     ["Item", "Paper testbed", "This reproduction"], rows)
+
+
+def table4() -> TableData:
+    """Matrix sizes and transfer volumes (paper Table 4)."""
+    rows = []
+    for dim in MATRIX_SIZES:
+        sizes = matrix_data_sizes(dim)
+        rows.append([f"{dim}x{dim}", fmt_bytes(sizes["h2d"]),
+                     fmt_bytes(sizes["d2h"]), fmt_bytes(sizes["total"])])
+    return TableData("Table 4", "Size of matrix and corresponding data size",
+                     ["Matrix size", "HtoD size", "DtoH size",
+                      "Total mem requirement"], rows)
+
+
+def table5() -> TableData:
+    """Rodinia applications and transfer volumes (paper Table 5)."""
+    rows = []
+    for workload in rodinia_workloads():
+        rows.append([f"{workload.name} ({workload.app_code})",
+                     f"{fmt_bytes(workload.modeled_h2d)} / "
+                     f"{fmt_bytes(workload.modeled_d2h)}",
+                     workload.problem_desc,
+                     str(workload.n_launches)])
+    return TableData("Table 5", "Rodinia benchmark applications",
+                     ["App", "Memcpy (HtoD / DtoH)", "Problem Size",
+                      "Modeled launches"], rows)
+
+
+def all_tables() -> Sequence[TableData]:
+    return (table1(), table2(), table3(), table4(), table5())

@@ -1,0 +1,25 @@
+"""Gdev: the open-source CUDA stack used as the paper's baseline.
+
+The paper builds HIX on Gdev (Kato et al., USENIX ATC'12) and reports
+every result against "the original unsecure Gdev platform".  This
+package is that baseline: a kernel-resident driver that owns the GPU's
+MMIO, a VRAM allocator, module loading, and a CUDA-driver-API-shaped
+facade (``cuMemAlloc``/``cuMemcpyHtoD``/``cuLaunchKernel``/...).
+
+It is deliberately *unprotected*: commands and data cross the OS in
+plaintext, the OS maps GPU MMIO wherever it likes, and deallocated
+device memory is not cleansed — the attack surface HIX closes.
+"""
+
+from repro.gdev.allocator import VramAllocator
+from repro.gdev.api import GdevApi
+from repro.gdev.driver import GdevContextHandle, GdevDriver, GdevModule, MmioChannel
+
+__all__ = [
+    "VramAllocator",
+    "GdevDriver",
+    "GdevContextHandle",
+    "GdevModule",
+    "MmioChannel",
+    "GdevApi",
+]

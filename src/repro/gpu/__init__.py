@@ -1,0 +1,35 @@
+"""Fermi-class GPU simulator (the paper's NVIDIA GTX 580 stand-in).
+
+The device is an ordinary PCIe endpoint: BAR0 exposes control registers
+and a command FIFO, BAR1 is a movable aperture into device memory, and
+the expansion ROM holds the GPU BIOS the GPU enclave measures at
+initialization (Section 4.2.2).  Software controls it exactly the way
+Section 2.3 describes — by writing commands into the FIFO through MMIO
+and letting the DMA copy engine move bulk data.
+
+Real bytes live in (sparse) VRAM and kernels really execute (as numpy
+functions dispatched from "cubin" images resident in VRAM), so code- and
+data-integrity attacks in the test suite have real effects; simulated
+time is charged by the machine's cost model.
+"""
+
+from repro.gpu.commands import CommandOpcode, decode_commands, encode_command
+from repro.gpu.context import GpuContext, GpuPageTable
+from repro.gpu.device import SimGpu
+from repro.gpu.kernels import KernelRegistry, KernelSpec, global_registry
+from repro.gpu.module import CubinImage, pack_params, unpack_params
+
+__all__ = [
+    "SimGpu",
+    "GpuContext",
+    "GpuPageTable",
+    "CommandOpcode",
+    "encode_command",
+    "decode_commands",
+    "KernelRegistry",
+    "KernelSpec",
+    "global_registry",
+    "CubinImage",
+    "pack_params",
+    "unpack_params",
+]

@@ -1,0 +1,32 @@
+"""A non-GPU offload accelerator protected by the same HIX machinery.
+
+The paper closes with: "HIX can be extended to support various
+accelerator architectures communicating with CPUs over I/O interconnects
+by applying the proposed device isolation principles" (Section 7).  This
+module is that extension exercised: a PCI "processing accelerator"
+class endpoint that reuses the command-FIFO/VRAM/crypto machinery of the
+simulated GPU but identifies as a different kind of device.  EGCREATE
+accepts it (class code in ``PROTECTABLE_CLASSES``), the GPU-enclave
+service drives it unchanged, and the whole trusted path — lockdown,
+TGMR, sealed channels, on-device AEAD — applies verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import SimGpu
+from repro.pcie.config_space import CLASS_PROCESSING_ACCEL
+from repro.pcie.device import Bdf
+
+VENDOR_ACCEL = 0x1AC2        # fictitious accelerator vendor
+DEVICE_TENSOR_ACCEL = 0x0077
+
+
+class SimAccelerator(SimGpu):
+    """A tensor-offload accelerator: same engines, different identity."""
+
+    def __init__(self, bdf: Bdf, mem_size: int, **kwargs) -> None:
+        kwargs.setdefault("vendor_id", VENDOR_ACCEL)
+        kwargs.setdefault("device_id", DEVICE_TENSOR_ACCEL)
+        kwargs.setdefault("class_code", CLASS_PROCESSING_ACCEL)
+        kwargs.setdefault("device_secret", b"tensor-accel-secret")
+        super().__init__(bdf, mem_size, **kwargs)

@@ -1,0 +1,76 @@
+"""GPU command stream encoding.
+
+The driver (Gdev or the HIX GPU enclave) serializes commands into the
+BAR0 FIFO window and rings the doorbell; the device decodes and executes
+them.  Wire format per command::
+
+    u32 opcode | u32 ctx_id | u32 nargs | u32 flags | u64 blob_len
+    | nargs * u64 args | blob bytes
+
+Args are little-endian u64; the blob carries raw bytes (e.g. a
+Diffie-Hellman public value for KEY_EXCHANGE).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ProtocolError
+
+_HEADER = struct.Struct("<IIIIQ")
+
+
+class CommandOpcode(enum.IntEnum):
+    CTX_CREATE = 0x01
+    CTX_DESTROY = 0x02
+    MAP = 0x03           # args: gpu_va, vram_pa, nbytes
+    UNMAP = 0x04         # args: gpu_va, nbytes
+    MEMCPY_H2D = 0x05    # args: host_addr, gpu_va, nbytes
+    MEMCPY_D2H = 0x06    # args: gpu_va, host_addr, nbytes
+    LAUNCH = 0x07        # args: cubin_va, cubin_len, kernel_index, param_va, param_len
+    MEM_CLEANSE = 0x08   # args: gpu_va, nbytes
+    KEY_EXCHANGE = 0x09  # blob: DH public value (big-endian integer)
+    FENCE = 0x0A         # args: fence_id
+
+
+@dataclass
+class Command:
+    """One decoded GPU command."""
+
+    opcode: CommandOpcode
+    ctx_id: int
+    args: Tuple[int, ...] = ()
+    blob: bytes = b""
+
+
+def encode_command(opcode: CommandOpcode, ctx_id: int,
+                   args: Tuple[int, ...] = (), blob: bytes = b"") -> bytes:
+    header = _HEADER.pack(int(opcode), ctx_id, len(args), 0, len(blob))
+    packed_args = b"".join(struct.pack("<Q", a) for a in args)
+    return header + packed_args + blob
+
+
+def decode_commands(raw: bytes) -> List[Command]:
+    """Decode a doorbell batch into commands; malformed streams raise."""
+    commands = []
+    view = memoryview(raw)
+    while view:
+        if len(view) < _HEADER.size:
+            raise ProtocolError("truncated command header")
+        opcode_value, ctx_id, nargs, _flags, blob_len = _HEADER.unpack_from(view)
+        view = view[_HEADER.size:]
+        need = 8 * nargs + blob_len
+        if len(view) < need:
+            raise ProtocolError("truncated command payload")
+        try:
+            opcode = CommandOpcode(opcode_value)
+        except ValueError:
+            raise ProtocolError(f"unknown GPU opcode {opcode_value:#x}") from None
+        args = struct.unpack_from(f"<{nargs}Q", view, 0) if nargs else ()
+        blob = bytes(view[8 * nargs: 8 * nargs + blob_len])
+        commands.append(Command(opcode, ctx_id, args, blob))
+        view = view[need:]
+    return commands

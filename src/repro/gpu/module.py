@@ -1,0 +1,141 @@
+"""GPU module ("cubin") images and kernel parameter marshalling.
+
+A cubin is the byte image the driver copies into GPU memory; launches
+name a kernel by index into the image's kernel table.  Because the image
+really lives in VRAM, patching those bytes (the Envytools-style attack
+the paper cites for code integrity) really changes what runs — the
+compute engine re-parses the image from device memory on every launch.
+
+Wire format::
+
+    b"HCUB" | u32 nkernels | per kernel: u16 len | name bytes | 32-byte sha256(name)
+
+Kernel parameters are marshalled into a flat buffer the driver also
+copies to device memory::
+
+    u32 nparams | per param: u8 kind | 8-byte value (u64/f64/devptr)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from repro.errors import KernelNotFound, ProtocolError
+
+_MAGIC = b"HCUB"
+
+PARAM_U64 = 0
+PARAM_F64 = 1
+PARAM_DEVPTR = 2
+
+ParamValue = Union[int, float, "DevPtr"]
+
+
+@dataclass(frozen=True)
+class DevPtr:
+    """A device (GPU virtual) address distinguished from plain integers."""
+
+    addr: int
+
+    def __index__(self) -> int:
+        return self.addr
+
+
+@dataclass
+class CubinImage:
+    """Parsed representation of a module image."""
+
+    kernel_names: List[str]
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(_MAGIC)
+        out += struct.pack("<I", len(self.kernel_names))
+        for name in self.kernel_names:
+            encoded = name.encode()
+            out += struct.pack("<H", len(encoded))
+            out += encoded
+            out += hashlib.sha256(encoded).digest()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "CubinImage":
+        if raw[:4] != _MAGIC:
+            raise ProtocolError("bad cubin magic — corrupted module image")
+        (count,) = struct.unpack_from("<I", raw, 4)
+        names = []
+        offset = 8
+        for _ in range(count):
+            if offset + 2 > len(raw):
+                raise ProtocolError("truncated cubin kernel table")
+            (name_len,) = struct.unpack_from("<H", raw, offset)
+            offset += 2
+            name_bytes = raw[offset:offset + name_len]
+            offset += name_len
+            digest = raw[offset:offset + 32]
+            offset += 32
+            if hashlib.sha256(name_bytes).digest() != digest:
+                raise ProtocolError(
+                    "cubin kernel entry failed integrity check "
+                    "(module image corrupted in device memory)")
+            names.append(name_bytes.decode())
+        return cls(kernel_names=names)
+
+    def kernel_at(self, index: int) -> str:
+        try:
+            return self.kernel_names[index]
+        except IndexError:
+            raise KernelNotFound(f"no kernel at index {index}") from None
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.kernel_names.index(name)
+        except ValueError:
+            raise KernelNotFound(f"kernel {name!r} not in module") from None
+
+
+def pack_params(params: Sequence[ParamValue]) -> bytes:
+    """Marshal launch parameters into the device-resident buffer format."""
+    out = bytearray(struct.pack("<I", len(params)))
+    for value in params:
+        if isinstance(value, DevPtr):
+            out += struct.pack("<BQ", PARAM_DEVPTR, value.addr)
+        elif isinstance(value, bool):
+            out += struct.pack("<BQ", PARAM_U64, int(value))
+        elif isinstance(value, int):
+            if value < 0:
+                raise ValueError("negative scalar parameters unsupported")
+            out += struct.pack("<BQ", PARAM_U64, value)
+        elif isinstance(value, float):
+            out += struct.pack("<Bd", PARAM_F64, value)
+        else:
+            raise TypeError(f"unsupported kernel parameter {value!r}")
+    return bytes(out)
+
+
+def unpack_params(raw: bytes) -> List[ParamValue]:
+    """Inverse of :func:`pack_params` (executed by the compute engine)."""
+    if len(raw) < 4:
+        raise ProtocolError("truncated parameter buffer")
+    (count,) = struct.unpack_from("<I", raw, 0)
+    offset = 4
+    values: List[ParamValue] = []
+    for _ in range(count):
+        if offset + 9 > len(raw):
+            raise ProtocolError("truncated parameter entry")
+        kind = raw[offset]
+        if kind == PARAM_F64:
+            (value,) = struct.unpack_from("<d", raw, offset + 1)
+            values.append(value)
+        elif kind == PARAM_DEVPTR:
+            (addr,) = struct.unpack_from("<Q", raw, offset + 1)
+            values.append(DevPtr(addr))
+        elif kind == PARAM_U64:
+            (scalar,) = struct.unpack_from("<Q", raw, offset + 1)
+            values.append(scalar)
+        else:
+            raise ProtocolError(f"unknown parameter kind {kind}")
+        offset += 9
+    return values

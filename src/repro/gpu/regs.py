@@ -1,0 +1,30 @@
+"""BAR0 register map of the simulated GPU.
+
+Offsets are stable constants so driver code reads like real MMIO driver
+code.  BAR0 is 16 MiB: registers in the first 64 KiB, then the command
+FIFO window; BAR1 is the VRAM aperture whose base offset into VRAM is
+selected by :data:`REG_APERTURE_BASE` (the classic "window register"
+scheme pre-dating resizable BARs).
+"""
+
+BAR0_SIZE = 16 << 20
+BAR1_SIZE = 256 << 20
+ROM_SIZE = 64 << 10
+
+# -- control registers (BAR0) -------------------------------------------------
+REG_ID = 0x0000            # device identification
+REG_STATUS = 0x0004        # bit0: busy, bit1: halted/locked
+REG_RESET = 0x0100         # write RESET_MAGIC to reset the whole device
+REG_APERTURE_BASE = 0x0200  # VRAM offset the BAR1 window exposes
+REG_DOORBELL = 0x0300      # write: length of command batch in the FIFO
+REG_FIFO_STATUS = 0x0304   # commands retired since reset
+REG_VRAM_SIZE = 0x0400     # read-only VRAM capacity (bytes, low 32)
+REG_VRAM_SIZE_HI = 0x0404  # high 32 bits
+
+FIFO_OFFSET = 0x10000      # command FIFO window within BAR0
+FIFO_SIZE = 0x10000        # 64 KiB of command space
+
+RESET_MAGIC = 0xB007_0000
+
+STATUS_IDLE = 0
+STATUS_BUSY = 1

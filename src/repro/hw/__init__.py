@@ -1,0 +1,39 @@
+"""CPU-side hardware substrate: memory, address map, MMU, IOMMU, DMA.
+
+These modules model the host hardware the paper's Figure 2 describes —
+the system address map that routes CPU accesses either to DRAM or to the
+PCIe root complex, the MMU whose page-table walker HIX extends with
+GECS/TGMR validation (Section 4.3.1), and the IOMMU/DMA path that HIX
+deliberately leaves untrusted (protected by authenticated encryption
+instead, Section 4.3.3).
+"""
+
+from repro.hw.address_map import AddressMap, Window
+from repro.hw.dma import DmaEngine
+from repro.hw.iommu import Iommu
+from repro.hw.mmu import (
+    AccessContext,
+    AccessType,
+    Mmu,
+    PageFlags,
+    PageTable,
+    Tlb,
+    TlbEntry,
+)
+from repro.hw.phys_mem import PAGE_SIZE, PhysicalMemory
+
+__all__ = [
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "AddressMap",
+    "Window",
+    "PageTable",
+    "PageFlags",
+    "Tlb",
+    "TlbEntry",
+    "Mmu",
+    "AccessContext",
+    "AccessType",
+    "Iommu",
+    "DmaEngine",
+]

@@ -1,0 +1,78 @@
+"""System address map: routes physical accesses to DRAM or MMIO windows.
+
+Models the routing role the paper's Figure 2 assigns to the CPU's
+internal registers ("CPU is responsible for distinguishing accesses to
+the MMIO regions from main memory accesses").  Windows are claimed by
+handlers (DRAM, the PCIe root complex); an access that no window claims
+raises :class:`~repro.errors.BusError`, the analogue of a master abort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.errors import BusError
+
+ReadFn = Callable[[int, int], bytes]
+WriteFn = Callable[[int, bytes], None]
+
+
+@dataclass(frozen=True)
+class Window:
+    """A claimed physical address range with read/write handlers."""
+
+    name: str
+    base: int
+    size: int
+    read: ReadFn
+    write: WriteFn
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def contains(self, paddr: int, length: int = 1) -> bool:
+        return self.base <= paddr and paddr + length <= self.limit
+
+
+class AddressMap:
+    """Ordered collection of non-overlapping physical windows."""
+
+    def __init__(self) -> None:
+        self._windows: List[Window] = []
+
+    def add_window(self, name: str, base: int, size: int,
+                   read: ReadFn, write: WriteFn) -> Window:
+        """Claim [base, base+size) for a handler; overlaps are rejected."""
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        for existing in self._windows:
+            if base < existing.limit and existing.base < base + size:
+                raise ValueError(
+                    f"window {name!r} [{base:#x},{base + size:#x}) overlaps "
+                    f"{existing.name!r}")
+        window = Window(name, base, size, read, write)
+        self._windows.append(window)
+        self._windows.sort(key=lambda w: w.base)
+        return window
+
+    def find(self, paddr: int, length: int = 1) -> Window:
+        """Return the window that fully contains the access, or raise."""
+        for window in self._windows:
+            if window.contains(paddr, length):
+                return window
+        raise BusError(
+            f"physical access [{paddr:#x}, {paddr + length:#x}) hit no window")
+
+    def read(self, paddr: int, length: int) -> bytes:
+        window = self.find(paddr, length)
+        return window.read(paddr - window.base, length)
+
+    def write(self, paddr: int, data: bytes) -> None:
+        window = self.find(paddr, len(data))
+        window.write(paddr - window.base, data)
+
+    @property
+    def windows(self) -> List[Window]:
+        return list(self._windows)

@@ -1,0 +1,220 @@
+"""MMU: page tables, TLB, and the HIX-extended page-table walker.
+
+Section 4.3.1 of the paper extends the walker so that, on a TLB miss,
+any translation touching protected state (EPC pages, or MMIO regions
+registered in the TGMR) is validated before the entry may enter the TLB:
+
+    (1) the current process is the GPU enclave (GECS check),
+    (2) the virtual address matches what the GPU enclave registered,
+    (3) the virtual address matches the TGMR entry,
+    (4) the physical address matches the TGMR entry.
+
+The walker here delegates those checks to a pluggable *validator* —
+installed by the SGX unit (:mod:`repro.sgx`) when the machine is
+assembled — so the MMU stays generic hardware and the SGX/HIX semantics
+live with the rest of the enclave logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import AccessDenied, PageFault
+from repro.hw.phys_mem import PAGE_SIZE
+
+
+class PageFlags(enum.IntFlag):
+    """x86-style page permissions (subset relevant to the model)."""
+
+    PRESENT = 1
+    WRITABLE = 2
+    USER = 4
+
+
+class AccessType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """Who is performing a memory access.
+
+    ``enclave_id`` is None outside enclave mode.  ``is_kernel`` marks
+    ring-0 accesses (the malicious OS in the threat model).
+    """
+
+    asid: int
+    enclave_id: Optional[int] = None
+    is_kernel: bool = False
+
+    def describe(self) -> str:
+        mode = "kernel" if self.is_kernel else "user"
+        enclave = f" enclave={self.enclave_id}" if self.enclave_id is not None else ""
+        return f"asid={self.asid} ({mode}{enclave})"
+
+
+class PageTable:
+    """A single-level sparse page table for one address space."""
+
+    def __init__(self, asid: int) -> None:
+        self.asid = asid
+        self._entries: Dict[int, Tuple[int, PageFlags]] = {}
+
+    def map(self, vaddr: int, paddr: int,
+            flags: PageFlags = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
+            ) -> None:
+        if vaddr % PAGE_SIZE or paddr % PAGE_SIZE:
+            raise ValueError("mappings must be page-aligned")
+        self._entries[vaddr // PAGE_SIZE] = (paddr // PAGE_SIZE, flags)
+
+    def map_range(self, vaddr: int, paddr: int, size: int,
+                  flags: PageFlags = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
+                  ) -> None:
+        if size % PAGE_SIZE:
+            raise ValueError("range size must be page-aligned")
+        for offset in range(0, size, PAGE_SIZE):
+            self.map(vaddr + offset, paddr + offset, flags)
+
+    def unmap(self, vaddr: int) -> None:
+        self._entries.pop(vaddr // PAGE_SIZE, None)
+
+    def lookup(self, vaddr: int) -> Tuple[int, PageFlags]:
+        """Raw software walk: return (paddr_of_page, flags) or page-fault."""
+        entry = self._entries.get(vaddr // PAGE_SIZE)
+        if entry is None or not entry[1] & PageFlags.PRESENT:
+            raise PageFault(f"no mapping for va {vaddr:#x} in asid {self.asid}")
+        ppn, flags = entry
+        return ppn * PAGE_SIZE, flags
+
+    def mapped_pages(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class TlbEntry:
+    vpn: int
+    ppn: int
+    flags: PageFlags
+    asid: int
+    enclave_id: Optional[int]  # enclave context the entry was filled under
+
+
+# validator(ctx, vaddr, paddr, flags, access) -> None (or raise)
+Validator = Callable[[AccessContext, int, int, PageFlags, AccessType], None]
+
+
+class Tlb:
+    """Software-managed TLB keyed by (asid, vpn)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int], TlbEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, asid: int, vpn: int) -> Optional[TlbEntry]:
+        entry = self._entries.get((asid, vpn))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def insert(self, entry: TlbEntry) -> None:
+        self._entries[(entry.asid, entry.vpn)] = entry
+
+    def flush_all(self) -> None:
+        self._entries.clear()
+
+    def flush_asid(self, asid: int) -> None:
+        self._entries = {key: e for key, e in self._entries.items()
+                         if key[0] != asid}
+
+    def flush_page(self, asid: int, vaddr: int) -> None:
+        self._entries.pop((asid, vaddr // PAGE_SIZE), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Mmu:
+    """Translation front-end shared by all CPU accesses in the machine."""
+
+    def __init__(self) -> None:
+        self.tlb = Tlb()
+        self._validator: Optional[Validator] = None
+
+    def set_validator(self, validator: Optional[Validator]) -> None:
+        """Install the SGX/HIX walker validation hook."""
+        self._validator = validator
+
+    def translate(self, page_table: PageTable, ctx: AccessContext,
+                  vaddr: int, access: AccessType) -> int:
+        """Translate one virtual address; returns the physical address.
+
+        TLB entries are tagged with the enclave context that filled them;
+        a hit under a different enclave context is treated as a miss and
+        re-walked, modelling SGX's flushing of enclave translations on
+        EENTER/EEXIT.
+        """
+        vpn = vaddr // PAGE_SIZE
+        entry = self.tlb.lookup(page_table.asid, vpn)
+        if entry is not None and entry.enclave_id != ctx.enclave_id:
+            self.tlb.flush_page(page_table.asid, vaddr)
+            entry = None
+        if entry is None:
+            entry = self._walk(page_table, ctx, vaddr, access)
+            self.tlb.insert(entry)
+        self._check_permissions(entry, ctx, vaddr, access)
+        return entry.ppn * PAGE_SIZE + (vaddr % PAGE_SIZE)
+
+    def _walk(self, page_table: PageTable, ctx: AccessContext,
+              vaddr: int, access: AccessType) -> TlbEntry:
+        page_pa, flags = page_table.lookup(vaddr)
+        if self._validator is not None:
+            # The HIX-extended walker: raises TlbValidationError if this
+            # translation touches protected state it may not touch.
+            self._validator(ctx, vaddr - vaddr % PAGE_SIZE, page_pa, flags, access)
+        return TlbEntry(vpn=vaddr // PAGE_SIZE, ppn=page_pa // PAGE_SIZE,
+                        flags=flags, asid=page_table.asid,
+                        enclave_id=ctx.enclave_id)
+
+    @staticmethod
+    def _check_permissions(entry: TlbEntry, ctx: AccessContext,
+                           vaddr: int, access: AccessType) -> None:
+        if access is AccessType.WRITE and not entry.flags & PageFlags.WRITABLE:
+            raise AccessDenied(
+                f"write to read-only page va {vaddr:#x} by {ctx.describe()}")
+        if not ctx.is_kernel and not entry.flags & PageFlags.USER:
+            raise AccessDenied(
+                f"user access to supervisor page va {vaddr:#x} by {ctx.describe()}")
+
+    # -- multi-page convenience helpers --------------------------------------
+
+    def virt_read(self, page_table: PageTable, ctx: AccessContext,
+                  vaddr: int, length: int, phys_read) -> bytes:
+        """Read a possibly page-spanning virtual range."""
+        out = bytearray()
+        addr = vaddr
+        remaining = length
+        while remaining:
+            chunk = min(remaining, PAGE_SIZE - addr % PAGE_SIZE)
+            paddr = self.translate(page_table, ctx, addr, AccessType.READ)
+            out += phys_read(paddr, chunk)
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def virt_write(self, page_table: PageTable, ctx: AccessContext,
+                   vaddr: int, data: bytes, phys_write) -> None:
+        """Write a possibly page-spanning virtual range."""
+        addr = vaddr
+        view = memoryview(data)
+        while view:
+            chunk = min(len(view), PAGE_SIZE - addr % PAGE_SIZE)
+            paddr = self.translate(page_table, ctx, addr, AccessType.WRITE)
+            phys_write(paddr, bytes(view[:chunk]))
+            addr += chunk
+            view = view[chunk:]

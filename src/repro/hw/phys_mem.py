@@ -1,0 +1,82 @@
+"""Sparse byte-addressable physical memory (host DRAM).
+
+Pages are allocated lazily so a multi-gigabyte DRAM can be modeled
+without reserving host RAM.  All reads/writes are bounds-checked; DRAM
+never wraps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import BusError
+
+PAGE_SIZE = 4096
+
+
+class PhysicalMemory:
+    """Lazily-populated DRAM of a fixed size."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size % PAGE_SIZE:
+            raise ValueError("DRAM size must be a positive multiple of the page size")
+        self._size = size
+        self._pages: Dict[int, bytearray] = {}
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _page(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def _check(self, paddr: int, length: int) -> None:
+        if length < 0:
+            raise ValueError("negative length")
+        if paddr < 0 or paddr + length > self._size:
+            raise BusError(
+                f"DRAM access [{paddr:#x}, {paddr + length:#x}) outside "
+                f"[0, {self._size:#x})")
+
+    def read(self, paddr: int, length: int) -> bytes:
+        """Read *length* bytes starting at physical address *paddr*."""
+        self._check(paddr, length)
+        out = bytearray()
+        remaining = length
+        addr = paddr
+        while remaining:
+            index, offset = divmod(addr, PAGE_SIZE)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page = self._pages.get(index)
+            if page is None:
+                out += bytes(chunk)
+            else:
+                out += page[offset:offset + chunk]
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, paddr: int, data: bytes) -> None:
+        """Write *data* starting at physical address *paddr*."""
+        self._check(paddr, len(data))
+        addr = paddr
+        view = memoryview(data)
+        while view:
+            index, offset = divmod(addr, PAGE_SIZE)
+            chunk = min(len(view), PAGE_SIZE - offset)
+            self._page(index)[offset:offset + chunk] = view[:chunk]
+            addr += chunk
+            view = view[chunk:]
+
+    def zero(self, paddr: int, length: int) -> None:
+        """Zero a physical range (drops whole pages where possible)."""
+        self._check(paddr, length)
+        self.write(paddr, bytes(length))
+
+    def resident_pages(self) -> int:
+        """Number of pages actually materialised (for tests/diagnostics)."""
+        return len(self._pages)

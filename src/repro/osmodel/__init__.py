@@ -1,0 +1,21 @@
+"""Operating-system model: processes, kernel services, and the adversary.
+
+The threat model (paper Section 3.1) gives the attacker full control of
+the OS kernel and device drivers: it can run ring-0 code, inspect and
+modify main memory, manage the system address map, and reprogram the
+IOMMU.  :class:`~repro.osmodel.kernel.Kernel` provides the benign
+services (process/virtual-memory management, the reduced in-kernel
+driver stub of Section 4.2), and
+:class:`~repro.osmodel.adversary.PrivilegedAdversary` drives the same
+interfaces maliciously to mount every attack in Section 5.5.
+
+Crucially, *all* software memory accesses — including the kernel's —
+travel through the simulated MMU, so SGX/HIX walker validation governs
+the adversary exactly as it would real ring-0 code.
+"""
+
+from repro.osmodel.adversary import PrivilegedAdversary
+from repro.osmodel.kernel import Kernel
+from repro.osmodel.process import Process
+
+__all__ = ["Kernel", "Process", "PrivilegedAdversary"]

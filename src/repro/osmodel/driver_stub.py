@@ -1,0 +1,62 @@
+"""The benign in-kernel remainder of the GPU driver.
+
+Section 4.2: "The role of the remaining part of driver in the OS is
+reduced to offering benign kernel services such as assigning new virtual
+addresses for MMIO regions allocated to the GPU enclave."  These helpers
+are those services: discover the GPU's MMIO geometry from config space
+and map it into the GPU enclave process.  They run in the untrusted
+kernel — HIX's checks make their honesty irrelevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.mmu import PageFlags
+from repro.osmodel.kernel import Kernel
+from repro.osmodel.process import Process
+from repro.pcie.config_space import REG_EXPANSION_ROM
+from repro.pcie.device import Bdf
+from repro.pcie.root_complex import RootComplex
+
+_MMIO_FLAGS = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
+
+
+@dataclass(frozen=True)
+class MmioRegion:
+    """One mapped MMIO region: where it is physically and virtually."""
+
+    name: str
+    paddr: int
+    vaddr: int
+    size: int
+
+
+def discover_gpu_regions(root_complex: RootComplex, gpu_bdf: Bdf
+                         ) -> Dict[str, tuple]:
+    """Read the GPU's BAR/ROM geometry out of its config space."""
+    device = root_complex.find_function(gpu_bdf)
+    if device is None:
+        raise ValueError(f"no device at {gpu_bdf}")
+    regions = {}
+    for index, bar in sorted(device.config.bars.items()):
+        regions[f"bar{index}"] = (bar.address, bar.size)
+    rom_base = device.config.read(REG_EXPANSION_ROM) & ~0x7FF
+    if device.rom_size and rom_base:
+        regions["rom"] = (rom_base, device.rom_size)
+    return regions
+
+
+def map_gpu_mmio(kernel: Kernel, root_complex: RootComplex, gpu_bdf: Bdf,
+                 process: Process) -> Dict[str, MmioRegion]:
+    """Map every GPU MMIO region into *process*; returns the mapping table.
+
+    The GPU enclave then registers these exact (vaddr, paddr) pairs with
+    EGADD; any later divergence is caught by the extended walker.
+    """
+    mapped = {}
+    for name, (paddr, size) in discover_gpu_regions(root_complex, gpu_bdf).items():
+        vaddr = kernel.map_physical(process, paddr, size, flags=_MMIO_FLAGS)
+        mapped[name] = MmioRegion(name=name, paddr=paddr, vaddr=vaddr, size=size)
+    return mapped

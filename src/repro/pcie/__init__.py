@@ -1,0 +1,32 @@
+"""PCI Express interconnect model.
+
+Implements the pieces of the PCIe system architecture that HIX touches
+(paper Sections 2.2 and 4.3.2): per-function configuration spaces with
+Base Address Registers, transaction-layer packets, address-routed memory
+transactions through a bridge tree, ID-routed configuration transactions,
+and — the HIX hardware change — the root complex's **MMIO lockdown**
+filter that discards config writes which would alter MMIO mapping or
+routing on the path to a protected GPU.
+"""
+
+from repro.pcie.config_space import Bar, ConfigSpace, Type0Config, Type1Config
+from repro.pcie.device import Bdf, PcieFunction
+from repro.pcie.port import RootPort
+from repro.pcie.root_complex import RootComplex
+from repro.pcie.tlp import Tlp, TlpKind
+from repro.pcie.topology import bios_assign_resources, build_topology
+
+__all__ = [
+    "Bar",
+    "ConfigSpace",
+    "Type0Config",
+    "Type1Config",
+    "Bdf",
+    "PcieFunction",
+    "RootPort",
+    "RootComplex",
+    "Tlp",
+    "TlpKind",
+    "build_topology",
+    "bios_assign_resources",
+]

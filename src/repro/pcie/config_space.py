@@ -1,0 +1,222 @@
+"""PCIe configuration space: headers, BARs, bridge windows.
+
+Register offsets follow the PCI Local Bus Specification 3.0 layout the
+paper cites.  Two details matter to HIX:
+
+* **BAR writes** change where a device's MMIO lands in the system
+  address map — exactly what the MMIO lockdown must freeze.
+* **Sizing inquiry** (writing all 1s to a BAR and reading back the size
+  mask) is the one legitimate BAR write the spec requires; the paper's
+  Section 5.6 notes lockdown breaks it unless the root complex makes an
+  exception, which we implement behind a flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+# Standard header register offsets (dword-aligned).
+REG_VENDOR_DEVICE = 0x00
+REG_COMMAND_STATUS = 0x04
+REG_CLASS_REVISION = 0x08
+REG_HEADER_TYPE = 0x0C
+REG_BAR0 = 0x10
+REG_BUS_NUMBERS = 0x18      # type 1: primary/secondary/subordinate
+REG_MEMORY_WINDOW = 0x20    # type 1: memory base/limit
+REG_PREFETCH_WINDOW = 0x24  # type 1: prefetchable base/limit
+REG_EXPANSION_ROM = 0x30    # type 0
+
+CLASS_DISPLAY_VGA = 0x030000
+CLASS_BRIDGE_PCI = 0x060400
+CLASS_PROCESSING_ACCEL = 0x120000  # PCI-SIG processing accelerator
+
+_BAR_MEM_64 = 0x4
+_BAR_PREFETCH = 0x8
+_ADDR_MASK_64 = (1 << 64) - 1
+
+
+@dataclass
+class Bar:
+    """One memory BAR: a relocatable MMIO window of fixed power-of-2 size."""
+
+    index: int
+    size: int
+    is_64bit: bool = True
+    prefetchable: bool = False
+    address: int = 0
+    _sizing: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size and (self.size & (self.size - 1)):
+            raise ValueError(f"BAR size must be a power of two, got {self.size:#x}")
+
+    @property
+    def limit(self) -> int:
+        return self.address + self.size
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return (self.size > 0 and self.address > 0
+                and self.address <= addr and addr + length <= self.limit)
+
+    def read_value(self) -> int:
+        """Raw register value: size mask while sizing, else address+flags."""
+        if self._sizing:
+            value = (~(self.size - 1)) & _ADDR_MASK_64
+        else:
+            value = self.address
+        flags = (_BAR_MEM_64 if self.is_64bit else 0) | (
+            _BAR_PREFETCH if self.prefetchable else 0)
+        return (value & ~0xF) | flags
+
+    def write_value(self, value: int) -> None:
+        """Program the BAR; an all-1s write latches the sizing inquiry.
+
+        Both 32-bit (0xFFFFFFF0) and 64-bit all-ones probes are accepted,
+        matching how software sizes 32- and 64-bit BARs.
+        """
+        if value | 0xF in (0xFFFFFFFF, _ADDR_MASK_64):
+            self._sizing = True
+            return
+        self._sizing = False
+        self.address = value & ~0xF
+
+    @property
+    def is_sizing_write(self) -> bool:
+        return self._sizing
+
+
+class ConfigSpace:
+    """Common configuration-space behaviour for type 0 and type 1 headers."""
+
+    header_type: int = 0
+
+    def __init__(self, vendor_id: int, device_id: int, class_code: int) -> None:
+        self.vendor_id = vendor_id
+        self.device_id = device_id
+        self.class_code = class_code
+        self.command = 0
+        self.bars: Dict[int, Bar] = {}
+        self._scratch: Dict[int, int] = {}
+
+    def add_bar(self, bar: Bar) -> Bar:
+        if bar.index in self.bars:
+            raise ValueError(f"BAR{bar.index} already present")
+        self.bars[bar.index] = bar
+        return bar
+
+    def bar_offset(self, index: int) -> int:
+        return REG_BAR0 + 4 * index  # 64-bit BARs consume two dwords
+
+    def _bar_at_offset(self, offset: int) -> Optional[Bar]:
+        if offset < REG_BAR0:
+            return None
+        index = (offset - REG_BAR0) // 4
+        return self.bars.get(index)
+
+    # Register names whose modification affects MMIO mapping/routing: the
+    # root complex's lockdown filter consults this.
+    def routing_register_offsets(self) -> List[int]:
+        return [self.bar_offset(i) for i in self.bars]
+
+    def read(self, offset: int) -> int:
+        if offset == REG_VENDOR_DEVICE:
+            return (self.device_id << 16) | self.vendor_id
+        if offset == REG_COMMAND_STATUS:
+            return self.command
+        if offset == REG_CLASS_REVISION:
+            return self.class_code << 8
+        if offset == REG_HEADER_TYPE:
+            return self.header_type << 16
+        bar = self._bar_at_offset(offset)
+        if bar is not None:
+            return bar.read_value() & 0xFFFFFFFF
+        return self._scratch.get(offset, 0)
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == REG_COMMAND_STATUS:
+            self.command = value & 0xFFFF
+            return
+        bar = self._bar_at_offset(offset)
+        if bar is not None:
+            bar.write_value(value)
+            return
+        self._scratch[offset] = value
+
+    def is_sizing_inquiry(self, offset: int, value: int) -> bool:
+        """True if this write is the spec's all-1s BAR sizing probe."""
+        return (self._bar_at_offset(offset) is not None
+                and value & ~0xF == 0xFFFFFFF0)
+
+
+class Type0Config(ConfigSpace):
+    """Endpoint configuration header (devices: GPU, NIC, ...)."""
+
+    header_type = 0
+
+    def __init__(self, vendor_id: int, device_id: int, class_code: int) -> None:
+        super().__init__(vendor_id, device_id, class_code)
+        self.expansion_rom_base = 0
+
+    def routing_register_offsets(self) -> List[int]:
+        return super().routing_register_offsets() + [REG_EXPANSION_ROM]
+
+    def read(self, offset: int) -> int:
+        if offset == REG_EXPANSION_ROM:
+            return self.expansion_rom_base
+        return super().read(offset)
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == REG_EXPANSION_ROM:
+            self.expansion_rom_base = value & ~0x7FF
+            return
+        super().write(offset, value)
+
+
+class Type1Config(ConfigSpace):
+    """PCI-PCI bridge header (root ports, switches)."""
+
+    header_type = 1
+
+    def __init__(self, vendor_id: int, device_id: int) -> None:
+        super().__init__(vendor_id, device_id, CLASS_BRIDGE_PCI)
+        self.primary_bus = 0
+        self.secondary_bus = 0
+        self.subordinate_bus = 0
+        self.memory_base = 0
+        self.memory_limit = 0
+
+    def routing_register_offsets(self) -> List[int]:
+        return (super().routing_register_offsets()
+                + [REG_BUS_NUMBERS, REG_MEMORY_WINDOW, REG_PREFETCH_WINDOW])
+
+    def window_contains(self, addr: int, length: int = 1) -> bool:
+        return (self.memory_limit > self.memory_base
+                and self.memory_base <= addr
+                and addr + length <= self.memory_limit)
+
+    def read(self, offset: int) -> int:
+        if offset == REG_BUS_NUMBERS:
+            return (self.subordinate_bus << 16 | self.secondary_bus << 8
+                    | self.primary_bus)
+        if offset == REG_MEMORY_WINDOW:
+            # Real hardware packs base/limit into 16-bit fields; the model
+            # keeps full-width shadow values and reports the packed form.
+            return ((self.memory_limit >> 16) << 16) | (self.memory_base >> 16)
+        return super().read(offset)
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == REG_BUS_NUMBERS:
+            self.primary_bus = value & 0xFF
+            self.secondary_bus = (value >> 8) & 0xFF
+            self.subordinate_bus = (value >> 16) & 0xFF
+            return
+        if offset == REG_MEMORY_WINDOW:
+            self.memory_base = (value & 0xFFFF) << 16
+            self.memory_limit = (value >> 16) << 16
+            return
+        super().write(offset, value)
+
+    def set_window(self, base: int, limit: int) -> None:
+        self.memory_base = base
+        self.memory_limit = limit

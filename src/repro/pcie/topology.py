@@ -1,0 +1,115 @@
+"""Topology construction and firmware-style resource assignment.
+
+The paper notes the system address map and routing registers "are
+initialized by the BIOS at system boot time".  :func:`bios_assign_resources`
+plays that role: it walks the tree, assigns every BAR (and expansion ROM)
+an address inside the MMIO window, and programs bridge windows to cover
+their children — all before any lockdown, exactly like real firmware.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.pcie.device import Bdf, PcieFunction
+from repro.pcie.port import RootPort
+from repro.pcie.root_complex import RootComplex
+
+_ALIGN = 1 << 20  # 1 MiB minimum alignment for assigned regions
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def build_topology(mmio_base: int, mmio_size: int,
+                   devices: Iterable[PcieFunction] = (),
+                   allow_sizing_inquiry: bool = False
+                   ) -> Tuple[RootComplex, RootPort]:
+    """Build the canonical single-root-port tree used by the testbed.
+
+    Mirrors the paper's prototype: one IOH3420-style root port at 00:01.0
+    with the GPU (and any other endpoints) on its secondary bus 1.
+    """
+    root_complex = RootComplex(mmio_base, mmio_size,
+                               allow_sizing_inquiry=allow_sizing_inquiry)
+    port = RootPort(Bdf(0, 1, 0), secondary_bus=1)
+    root_complex.add_port(port)
+    for device in devices:
+        port.attach(device)
+    bios_assign_resources(root_complex)
+    return root_complex, port
+
+
+def build_multi_device_topology(mmio_base: int, mmio_size: int,
+                                device_groups: Iterable[Iterable[PcieFunction]],
+                                allow_sizing_inquiry: bool = False
+                                ) -> Tuple[RootComplex, list]:
+    """One root port per device group (e.g. a multi-GPU testbed).
+
+    The paper's design covers "a single GPU or multi-GPU system without
+    P2P connection across GPUs"; giving each GPU its own root port makes
+    MMIO lockdown per-path: locking one GPU's route leaves the others'
+    config space writable.
+    """
+    root_complex = RootComplex(mmio_base, mmio_size,
+                               allow_sizing_inquiry=allow_sizing_inquiry)
+    ports = []
+    for index, devices in enumerate(device_groups, start=1):
+        port = RootPort(Bdf(0, index, 0), secondary_bus=index)
+        root_complex.add_port(port)
+        for device in devices:
+            port.attach(device)
+        ports.append(port)
+    bios_assign_resources(root_complex)
+    return root_complex, ports
+
+
+def bios_assign_resources(root_complex: RootComplex) -> None:
+    """Assign BAR/ROM addresses and bridge windows (firmware's job).
+
+    Idempotent: resources that already have addresses keep them, so a
+    re-run after hot-plug only places the new device and widens windows.
+    """
+    cursor = root_complex.mmio_base
+    limit = root_complex.mmio_base + root_complex.mmio_size
+    # Never place new resources below anything already assigned.
+    for port in root_complex.ports:
+        for device in port.devices:
+            for bar in device.config.bars.values():
+                if bar.address:
+                    cursor = max(cursor, bar.limit)
+            if device.rom_size and device.config.expansion_rom_base:
+                cursor = max(cursor,
+                             device.config.expansion_rom_base + device.rom_size)
+    def _align(value: int, size: int) -> int:
+        return _align_up(value, max(size, _ALIGN))
+
+    for port in root_complex.ports:
+        port_base = min((bar.address
+                         for device in port.devices
+                         for bar in device.config.bars.values() if bar.address),
+                        default=cursor)
+        for device in port.direct_devices:
+            for bar in sorted(device.config.bars.values(), key=lambda b: b.index):
+                if bar.address:
+                    continue
+                alignment = max(bar.size, _ALIGN)
+                cursor = _align_up(cursor, alignment)
+                bar.address = cursor
+                cursor += bar.size
+            if device.rom_size and not device.config.expansion_rom_base:
+                cursor = _align_up(cursor, _ALIGN)
+                device.config.expansion_rom_base = cursor
+                cursor += device.rom_size
+        for switch in port.switches:
+            if switch.config.memory_limit <= switch.config.memory_base:
+                # Unprogrammed switch: place its whole subtree.
+                cursor = switch.assign_windows(_align_up(cursor, _ALIGN),
+                                               _align)
+        cursor = _align_up(cursor, _ALIGN)
+        port.config.set_window(port_base, max(cursor, port.config.memory_limit))
+        if cursor > limit:
+            raise ValueError(
+                f"MMIO window exhausted: need {cursor - root_complex.mmio_base:#x}, "
+                f"have {root_complex.mmio_size:#x}")

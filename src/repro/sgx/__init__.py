@@ -1,0 +1,43 @@
+"""Intel SGX model plus the HIX extensions.
+
+Implements the SGX semantics HIX builds on (paper Section 2.1): the
+enclave page cache (EPC) and its map (EPCM), SECS-tracked enclave
+lifecycle (ECREATE/EADD/EEXTEND/EINIT/EENTER/EEXIT), MRENCLAVE
+measurement, local attestation (EREPORT/EGETKEY), and the HIX additions
+of Section 4.2: the EGCREATE/EGADD instructions and the GECS and TGMR
+internal structures stored in EPC pages.
+
+The paper's prototype emulated these instructions with VM exits in KVM;
+here they are methods on :class:`~repro.sgx.instructions.SgxUnit`, the
+simulated CPU security engine, with the same checks enforced on the
+simulated MMU's translation path.
+"""
+
+from repro.sgx.attestation import LocalReport, QuotingService, TargetInfo
+from repro.sgx.enclave import Enclave, EnclaveImage
+from repro.sgx.epc import Epc, EpcmEntry, PageType
+from repro.sgx.hix_ext import GecsEntry, HixExtension, TgmrEntry
+from repro.sgx.instructions import SgxUnit
+from repro.sgx.measurement import EnclaveMeasurement
+from repro.sgx.paging import VersionArray, eldu, ewb
+from repro.sgx.secs import Secs
+
+__all__ = [
+    "Epc",
+    "EpcmEntry",
+    "PageType",
+    "Secs",
+    "EnclaveMeasurement",
+    "SgxUnit",
+    "HixExtension",
+    "GecsEntry",
+    "TgmrEntry",
+    "Enclave",
+    "EnclaveImage",
+    "LocalReport",
+    "TargetInfo",
+    "QuotingService",
+    "VersionArray",
+    "ewb",
+    "eldu",
+]

@@ -1,0 +1,106 @@
+"""Local and remote attestation.
+
+HIX uses SGX local attestation between the user enclave and the GPU
+enclave before key exchange (Section 4.4.1), and remote attestation so a
+remote user can verify the GPU enclave's provenance (Section 5.5, "Code
+Integrity Attacks").  Reports are MACed with a key only the *target*
+enclave (on the same platform) can derive via EGETKEY, which is exactly
+the SGX local-attestation trust argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import hkdf_sha256, hmac_sha256
+from repro.errors import AttestationError
+
+
+@dataclass(frozen=True)
+class TargetInfo:
+    """What EREPORT needs to know about the verifying enclave."""
+
+    measurement: bytes
+
+
+@dataclass(frozen=True)
+class LocalReport:
+    """An EREPORT output: verifiable only by the named target enclave."""
+
+    measurement: bytes
+    enclave_id: int
+    report_data: bytes
+    is_gpu_enclave: bool
+    routing_measurement: bytes
+    mac: bytes
+
+    def body(self) -> bytes:
+        return (self.measurement + self.report_data + self.routing_measurement
+                + self.enclave_id.to_bytes(8, "big"))
+
+
+def verify_local_report(sgx_unit, verifier_enclave_id: int,
+                        report: LocalReport) -> None:
+    """Verify *report* as the enclave *verifier_enclave_id* would.
+
+    The verifier derives the report key bound to its own measurement via
+    EGETKEY and recomputes the MAC.  Raises AttestationError on mismatch.
+    """
+    own_measurement = sgx_unit.enclave(verifier_enclave_id).measurement.value
+    expected = hmac_sha256(sgx_unit.report_key_for(own_measurement),
+                           report.body())
+    if expected != report.mac:
+        raise AttestationError("local attestation report MAC mismatch")
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A remotely-verifiable statement about an enclave."""
+
+    report: LocalReport
+    platform_id: bytes
+    signature: bytes
+
+
+class QuotingService:
+    """Stand-in for the quoting enclave + Intel attestation service.
+
+    Real deployments involve EPID/ECDSA signatures and an online
+    verification service; the simulation compresses that to a keyed MAC
+    shared with a :class:`RemoteVerifier`, which preserves the protocol
+    roles (prover / platform / relying party) the security analysis needs.
+    """
+
+    def __init__(self, platform_id: bytes = b"hix-testbed") -> None:
+        self._platform_id = platform_id
+        self._signing_key = hkdf_sha256(platform_id, info=b"quote-key", length=32)
+
+    def quote(self, report: LocalReport) -> Quote:
+        payload = report.body() + self._platform_id
+        return Quote(report=report, platform_id=self._platform_id,
+                     signature=hmac_sha256(self._signing_key, payload))
+
+    def verification_key(self) -> bytes:
+        """What the attestation service would publish to relying parties."""
+        return self._signing_key
+
+
+class RemoteVerifier:
+    """A relying party checking a quote against expected identities."""
+
+    def __init__(self, verification_key: bytes, expected_measurement: bytes,
+                 expected_routing: bytes = b"") -> None:
+        self._key = verification_key
+        self._expected_measurement = expected_measurement
+        self._expected_routing = expected_routing
+
+    def verify(self, quote: Quote) -> None:
+        payload = quote.report.body() + quote.platform_id
+        if hmac_sha256(self._key, payload) != quote.signature:
+            raise AttestationError("quote signature invalid")
+        if quote.report.measurement != self._expected_measurement:
+            raise AttestationError("enclave measurement does not match "
+                                   "the vendor-published GPU enclave identity")
+        if (self._expected_routing
+                and quote.report.routing_measurement != self._expected_routing):
+            raise AttestationError("PCIe routing measurement mismatch")

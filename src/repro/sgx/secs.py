@@ -1,0 +1,35 @@
+"""SGX Enclave Control Structure (SECS).
+
+One SECS exists per enclave, itself stored in an EPC page; it records
+the ELRANGE (protected linear address range, Figure 1 of the paper), the
+lifecycle state, and the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sgx.measurement import EnclaveMeasurement
+
+
+@dataclass
+class Secs:
+    """Control record of one enclave."""
+
+    enclave_id: int
+    base: int                      # ELRANGE base linear address
+    size: int                      # ELRANGE size in bytes
+    secs_paddr: int                # EPC page holding this SECS
+    owner_pid: Optional[int] = None
+    initialized: bool = False      # set by EINIT
+    alive: bool = True             # cleared when torn down / killed
+    is_gpu_enclave: bool = False   # set by EGCREATE
+    measurement: EnclaveMeasurement = field(default_factory=EnclaveMeasurement)
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def elrange_contains(self, vaddr: int, length: int = 1) -> bool:
+        return self.base <= vaddr and vaddr + length <= self.limit

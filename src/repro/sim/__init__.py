@@ -1,0 +1,25 @@
+"""Simulation kernel: virtual time, cost model, and pipeline math.
+
+The HIX reproduction is a *functional* simulator — real bytes move through
+the simulated PCIe fabric and real kernels execute on real (numpy) data —
+but performance is reported in *simulated seconds* charged on a
+:class:`~repro.sim.clock.SimClock` by a calibrated
+:class:`~repro.sim.costs.CostModel`.  This mirrors the paper's prototype,
+which emulated the new hardware in KVM/QEMU and measured the resulting
+software stack.
+"""
+
+from repro.sim.clock import SimClock, TimeBreakdown
+from repro.sim.costs import CostModel
+from repro.sim.pipeline import pipelined_time, serial_time
+from repro.sim.trace import TraceRecorder, record
+
+__all__ = [
+    "SimClock",
+    "TimeBreakdown",
+    "CostModel",
+    "pipelined_time",
+    "serial_time",
+    "TraceRecorder",
+    "record",
+]

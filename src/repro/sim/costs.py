@@ -1,0 +1,119 @@
+"""Calibrated cost model for the simulated HIX testbed.
+
+All timing in the reproduction flows through one :class:`CostModel`
+instance attached to the machine.  The defaults are calibrated to the
+paper's testbed (Table 3: i7-6700 + NVIDIA GTX 580 over PCIe 2.0 x16,
+SGX SDK 2.0 / SGX-SSL) so that the *shapes* of Figures 6-9 hold:
+
+* matrix addition ~2.5x slower under HIX (crypto-bound),
+* matrix multiplication @11264 only ~6.3% slower (compute-bound),
+* Rodinia mean overhead ~26.8% with BP/NW/PF the worst cases and
+  HS/LUD/NN slightly *faster* under HIX (lower task-init cost),
+* multi-user HIX ~45%/~40% worse than parallel Gdev at 2/4 users.
+
+Absolute seconds are not expected to match the 2019 testbed; see
+EXPERIMENTS.md for paper-vs-measured values per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+GB = float(1 << 30)
+MB = float(1 << 20)
+KB = float(1 << 10)
+
+US = 1e-6
+MS = 1e-3
+
+
+@dataclass
+class CostModel:
+    """Tunable timing parameters of the simulated testbed.
+
+    Bandwidths are bytes/second, latencies are seconds.  Every parameter
+    carries the calibration rationale in a trailing comment.
+    """
+
+    # --- PCIe interconnect (PCIe 2.0 x16, GTX-580 era effective rates) ---
+    pcie_h2d_bandwidth: float = 6.0 * GB      # host->device DMA, effective
+    pcie_d2h_bandwidth: float = 5.0 * GB      # device->host DMA, effective
+    pcie_mmio_bandwidth: float = 0.7 * GB     # programmed-IO through BAR1
+    mmio_reg_latency: float = 1.0 * US        # one BAR0 register read/write
+    config_access_latency: float = 2.0 * US   # one PCIe config TLP
+    dma_setup_latency: float = 8.0 * US       # descriptor write + doorbell
+
+    # --- CPU-side cryptography (SGX-SSL OCB-AES-128 w/ AES-NI) ---
+    cpu_aead_bandwidth: float = 1.9 * GB      # enclave encrypt or decrypt
+    cpu_aead_setup_latency: float = 1.0 * US  # per-message nonce/offset setup
+    cpu_hash_bandwidth: float = 3.0 * GB      # SHA-256 measurement rate
+
+    # --- GPU-side cryptography (OCB-AES CUDA kernels on Fermi) ---
+    gpu_aead_bandwidth: float = 8.0 * GB      # in-GPU encrypt/decrypt kernel
+    gpu_aead_kernel_latency: float = 40.0 * US  # crypto kernel launch+drain
+    # Under concurrent multi-user service the crypto kernels run on small
+    # per-chunk batches that underutilize the SMs (Section 5.4: "resource
+    # underutilization for small data cryptography"), so their effective
+    # throughput drops by this factor in the multi-user model.
+    gpu_aead_multiuser_efficiency: float = 0.5
+
+    # --- Copy pipelining (Section 5.2: chunked encrypt || transfer) ---
+    pipeline_chunk_bytes: int = 4 * int(MB)
+
+    # --- Driver / task lifecycle ---
+    gdev_task_init: float = 30.0 * MS   # cuInit+ctx create+module load (Gdev)
+    hix_task_init: float = 13.0 * MS    # driver resident in GPU enclave
+    session_setup: float = 5.5 * MS     # local attestation + 3-party DH
+    kernel_launch_gdev: float = 60.0 * US   # ioctl + driver submission
+    kernel_launch_hix: float = 35.0 * US    # user-level queue beats the ioctl
+    memcpy_request_overhead_hix: float = 25.0 * US  # encrypted metadata msg
+    enclave_transition: float = 2.0 * US    # EENTER/EEXIT pair
+    msgqueue_hop: float = 3.0 * US          # wake + dequeue, one direction
+
+    # --- GPU execution engine ---
+    gpu_context_switch: float = 120.0 * US  # Fermi ctx save/restore
+    gpu_memory_cleanse_bandwidth: float = 48.0 * GB  # VRAM zeroing rate
+    gpu_kernel_dispatch: float = 5.0 * US   # on-device scheduling cost
+
+    # --- SGX microcode (emulated via VM exits in the paper's prototype) ---
+    sgx_instruction_latency: float = 3.0 * US   # ECREATE/EADD/EGADD etc.
+    epc_page_add_latency: float = 1.5 * US      # per EADD'd page
+
+    # --- Functional-vs-modeled data scaling --------------------------------
+    # Workloads move real bytes at reduced scale; the clock is charged for
+    # `real_bytes * data_inflation` so modeled sizes match the paper.
+    data_inflation: float = 1.0
+
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived helpers ----------------------------------------------------
+
+    def scaled(self, nbytes: int) -> float:
+        """Modeled byte count for *nbytes* real bytes."""
+        return nbytes * self.data_inflation
+
+    def h2d_time(self, nbytes: int, via_mmio: bool = False) -> float:
+        """Seconds to move *nbytes* (modeled) host->device, excluding crypto."""
+        bandwidth = self.pcie_mmio_bandwidth if via_mmio else self.pcie_h2d_bandwidth
+        return self.dma_setup_latency + self.scaled(nbytes) / bandwidth
+
+    def d2h_time(self, nbytes: int, via_mmio: bool = False) -> float:
+        bandwidth = self.pcie_mmio_bandwidth if via_mmio else self.pcie_d2h_bandwidth
+        return self.dma_setup_latency + self.scaled(nbytes) / bandwidth
+
+    def cpu_aead_time(self, nbytes: int) -> float:
+        """Seconds for one CPU-side authenticated encrypt/decrypt pass."""
+        return self.cpu_aead_setup_latency + self.scaled(nbytes) / self.cpu_aead_bandwidth
+
+    def gpu_aead_time(self, nbytes: int) -> float:
+        """Seconds for one in-GPU crypto kernel over *nbytes* (modeled)."""
+        return self.gpu_aead_kernel_latency + self.scaled(nbytes) / self.gpu_aead_bandwidth
+
+    def cleanse_time(self, nbytes: int) -> float:
+        """Seconds to zero *nbytes* of VRAM on deallocation/context teardown."""
+        return self.scaled(nbytes) / self.gpu_memory_cleanse_bandwidth
+
+    def with_overrides(self, **overrides: float) -> "CostModel":
+        """Return a copy with the given parameters replaced (for ablations)."""
+        return replace(self, **overrides)

@@ -1,0 +1,98 @@
+"""Execution tracing: timelines of simulated-time charges.
+
+A :class:`TraceRecorder` subscribes to a machine's clock and records
+every charge as a (start, duration, category) event.  This is the
+simulator's profiler: examples and debugging sessions can render a
+per-phase timeline of a run, and tests can assert ordering properties
+("the in-GPU decrypt kernel runs after the DMA", etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulated-time charge."""
+
+    start: float
+    duration: float
+    category: str
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class TraceRecorder:
+    """Collects clock charges; usable as a context manager."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self.events: List[TraceEvent] = []
+        self._attached = False
+
+    def __enter__(self) -> "TraceRecorder":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if not self._attached:
+            self._clock.add_listener(self._record)
+            self._attached = True
+
+    def stop(self) -> None:
+        if self._attached:
+            self._clock.remove_listener(self._record)
+            self._attached = False
+
+    def _record(self, start: float, seconds: float, category: str) -> None:
+        if seconds > 0.0:
+            self.events.append(TraceEvent(start, seconds, category))
+
+    # -- queries ----------------------------------------------------------------
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def first(self, category: str) -> Optional[TraceEvent]:
+        for event in self.events:
+            if event.category == category:
+                return event
+        return None
+
+    def total(self, category: Optional[str] = None) -> float:
+        return sum(e.duration for e in self.events
+                   if category is None or e.category == category)
+
+    def render(self, width: int = 60) -> str:
+        """ASCII timeline, one row per category."""
+        if not self.events:
+            return "(empty trace)"
+        t0 = min(e.start for e in self.events)
+        t1 = max(e.end for e in self.events)
+        span = max(t1 - t0, 1e-12)
+        categories = sorted({e.category for e in self.events})
+        lines = [f"trace: {span * 1e3:.3f} ms across "
+                 f"{len(self.events)} events"]
+        for category in categories:
+            row = [" "] * width
+            for event in self.by_category(category):
+                lo = int((event.start - t0) / span * (width - 1))
+                hi = int((event.end - t0) / span * (width - 1))
+                for index in range(lo, max(hi, lo) + 1):
+                    row[index] = "#"
+            lines.append(f"{category:>16} |{''.join(row)}|")
+        return "\n".join(lines)
+
+
+def record(clock: SimClock) -> TraceRecorder:
+    """Convenience: ``with trace.record(machine.clock) as t: ...``."""
+    return TraceRecorder(clock)

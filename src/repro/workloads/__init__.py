@@ -1,0 +1,29 @@
+"""Workloads: the matrix microbenchmarks and the Rodinia suite subset.
+
+Each workload runs *functionally* (real numpy math on real, scaled-down
+buffers, outputs verified) against either API facade — the Gdev baseline
+or the HIX trusted runtime — while the cost model charges simulated time
+for the paper's full problem sizes.  The per-app modeled GPU compute
+times live in :mod:`repro.workloads.calibration`.
+"""
+
+from repro.workloads.base import Phase, Workload, WorkloadError
+from repro.workloads.matrix import (
+    MATRIX_SIZES,
+    MatrixAdd,
+    MatrixMul,
+    matrix_data_sizes,
+)
+from repro.workloads.rodinia import RODINIA_APPS, rodinia_workloads
+
+__all__ = [
+    "Workload",
+    "WorkloadError",
+    "Phase",
+    "MatrixAdd",
+    "MatrixMul",
+    "MATRIX_SIZES",
+    "matrix_data_sizes",
+    "RODINIA_APPS",
+    "rodinia_workloads",
+]

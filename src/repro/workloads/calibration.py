@@ -1,0 +1,50 @@
+"""Calibrated per-application modeled GPU compute times.
+
+The paper's testbed (GTX 580 + i7-6700) is unavailable, so absolute
+kernel times cannot be measured; instead each application's total GPU
+compute time is a calibrated constant chosen so that the *shape* of the
+paper's results holds on the simulated testbed:
+
+* Figure 6: matrix addition crypto-bound (~2.5x under HIX), matrix
+  multiplication compute-bound (+6.3% at 11264).
+* Figure 7: BP/NW/PF the worst cases (+81.5% / +70.1% / +154%), GS
+  comparable, HS/LUD/NN slightly faster under HIX (lower task init).
+* Figures 8/9: multi-user degradation ~45%/~40% vs parallel Gdev.
+
+Derivation: given the cost model's transfer/crypto parameters, the
+per-app overhead delta under HIX is (to first order) fixed by the
+transfer sizes of Table 5; the compute constant is then solved from the
+paper's reported per-app overhead ratio.  EXPERIMENTS.md records the
+paper-vs-measured outcome for every entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Modeled GPU compute seconds per whole-application run (single user).
+RODINIA_COMPUTE_SECONDS: Dict[str, float] = {
+    "BP": 0.038,     # back propagation: two big layer kernels
+    "BFS": 0.186,    # frontier expansion, memory bound
+    "GS": 0.96,      # 2047 columns x 2 kernels, compute dominant
+    "HS": 0.065,     # 60 stencil steps on 1024x1024
+    "LUD": 0.052,    # block LU on 2048x2048
+    "NW": 0.038,     # anti-diagonal DP waves
+    "NN": 0.002,     # tiny distance kernel
+    "PF": 0.005,     # row DP, utterly transfer-dominated
+    "SRAD": 0.136,   # diffusion iterations on 3096x2048
+}
+
+#: Effective integer-op throughput of the modeled GTX 580 for the matrix
+#: microbenchmarks (ops/second).  Addition is bandwidth-trivial; the
+#: multiply rate is tuned so the 11264 point lands at ~+6.3% under HIX.
+MATRIX_ADD_OPS_PER_SECOND = 80e9
+MATRIX_MUL_OPS_PER_SECOND = 280e9
+
+
+def matrix_add_compute_seconds(dim: int) -> float:
+    return (dim * dim) / MATRIX_ADD_OPS_PER_SECOND
+
+
+def matrix_mul_compute_seconds(dim: int) -> float:
+    return (2.0 * dim * dim * dim) / MATRIX_MUL_OPS_PER_SECOND

@@ -1,0 +1,110 @@
+"""Matrix operation microbenchmarks (paper Section 5.3.1, Table 4, Figure 6).
+
+Integer matrix addition (A + B = C) and multiplication (A x B = C) over
+the four sizes of Table 4.  Addition has a low compute-to-communication
+ratio (crypto dominates under HIX, ~2.5x slower); multiplication's cubic
+compute swamps the security overhead (+6.3% at 11264).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.workloads.base import Workload
+from repro.workloads.calibration import (
+    matrix_add_compute_seconds,
+    matrix_mul_compute_seconds,
+)
+
+#: The four matrix dimensions of Table 4.
+MATRIX_SIZES: Tuple[int, ...] = (2048, 4096, 8192, 11264)
+
+_INT = np.int32
+_ELEM = 4  # bytes per int32
+
+
+def matrix_data_sizes(dim: int) -> Dict[str, int]:
+    """Table 4 row for one matrix size: HtoD / DtoH / total bytes."""
+    h2d = 2 * dim * dim * _ELEM     # A and B
+    d2h = dim * dim * _ELEM         # C
+    return {"h2d": h2d, "d2h": d2h, "total": h2d + d2h}
+
+
+class _MatrixWorkload(Workload):
+    """Common allocation/copy skeleton for both matrix operations."""
+
+    kernel_name = ""
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+        sizes = matrix_data_sizes(dim)
+        self.modeled_h2d = sizes["h2d"]
+        self.modeled_d2h = sizes["d2h"]
+        self.n_launches = 1
+        self.problem_desc = f"{dim}x{dim}"
+        self.name = f"{self.app_code}-{dim}"
+
+    def _expected(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def run(self, api, inflation: float = 1.0) -> None:
+        dim = self.scaled_dim(self.dim, inflation)
+        rng = np.random.default_rng(seed=self.dim)
+        a = rng.integers(0, 64, size=(dim, dim), dtype=_INT)
+        b = rng.integers(0, 64, size=(dim, dim), dtype=_INT)
+        nbytes = dim * dim * _ELEM
+
+        d_a = api.cuMemAlloc(nbytes)
+        d_b = api.cuMemAlloc(nbytes)
+        d_c = api.cuMemAlloc(nbytes)
+        api.cuMemcpyHtoD(d_a, a)
+        api.cuMemcpyHtoD(d_b, b)
+        module = api.cuModuleLoad([self.kernel_name])
+        api.cuLaunchKernel(module, self.kernel_name,
+                           self._params(d_a, d_b, d_c, dim),
+                           compute_seconds=self.compute_seconds)
+        result = np.frombuffer(api.cuMemcpyDtoH(d_c, nbytes),
+                               dtype=_INT).reshape(dim, dim)
+        self.check_close(result, self._expected(a, b), "result matrix")
+        for ptr in (d_a, d_b, d_c):
+            api.cuMemFree(ptr)
+
+    def _params(self, d_a, d_b, d_c, dim):
+        raise NotImplementedError
+
+
+class MatrixAdd(_MatrixWorkload):
+    """Integer matrix addition: one element-wise kernel."""
+
+    app_code = "matrix-add"
+    kernel_name = "builtin.matrix_add"
+
+    def __init__(self, dim: int) -> None:
+        super().__init__(dim)
+        self.compute_seconds = matrix_add_compute_seconds(dim)
+
+    def _params(self, d_a, d_b, d_c, dim):
+        return [d_a, d_b, d_c, dim * dim]
+
+    def _expected(self, a, b):
+        return a + b
+
+
+class MatrixMul(_MatrixWorkload):
+    """Integer matrix multiplication: one cubic kernel."""
+
+    app_code = "matrix-mul"
+    kernel_name = "builtin.matrix_mul"
+
+    def __init__(self, dim: int) -> None:
+        super().__init__(dim)
+        self.compute_seconds = matrix_mul_compute_seconds(dim)
+
+    def _params(self, d_a, d_b, d_c, dim):
+        return [d_a, d_b, d_c, dim]
+
+    def _expected(self, a, b):
+        return np.rint(a.astype(np.float64)
+                       @ b.astype(np.float64)).astype(_INT)

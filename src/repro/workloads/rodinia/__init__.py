@@ -1,0 +1,44 @@
+"""The Rodinia benchmark subset of Table 5 (paper Section 5.3.2).
+
+Nine applications, each with its GPU kernels implemented for real
+(numpy) and its transfer volumes matching the paper's Table 5.  The
+selection and problem sizes follow the paper, which in turn follows the
+original Gdev evaluation.
+"""
+
+from typing import Dict, List
+
+from repro.workloads.rodinia.backprop import BackProp
+from repro.workloads.rodinia.bfs import Bfs
+from repro.workloads.rodinia.gaussian import Gaussian
+from repro.workloads.rodinia.hotspot import Hotspot
+from repro.workloads.rodinia.lud import Lud
+from repro.workloads.rodinia.nn import NearestNeighbor
+from repro.workloads.rodinia.nw import NeedlemanWunsch
+from repro.workloads.rodinia.pathfinder import Pathfinder
+from repro.workloads.rodinia.srad import Srad
+
+#: Paper order (Table 5 / Figure 7 x-axis).
+RODINIA_APPS = ("BP", "BFS", "GS", "HS", "LUD", "NW", "NN", "PF", "SRAD")
+
+_CLASSES = {
+    "BP": BackProp,
+    "BFS": Bfs,
+    "GS": Gaussian,
+    "HS": Hotspot,
+    "LUD": Lud,
+    "NW": NeedlemanWunsch,
+    "NN": NearestNeighbor,
+    "PF": Pathfinder,
+    "SRAD": Srad,
+}
+
+
+def rodinia_workloads(apps=RODINIA_APPS) -> List:
+    """Instantiate the selected Rodinia workloads in paper order."""
+    return [_CLASSES[app]() for app in apps]
+
+
+__all__ = ["RODINIA_APPS", "rodinia_workloads", "BackProp", "Bfs",
+           "Gaussian", "Hotspot", "Lud", "NearestNeighbor",
+           "NeedlemanWunsch", "Pathfinder", "Srad"]

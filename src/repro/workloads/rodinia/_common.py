@@ -1,0 +1,27 @@
+"""Shared helpers for the Rodinia kernel implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernels import global_registry
+
+registry = global_registry()
+
+
+def read_f32(dev, ctx, ptr, count: int) -> np.ndarray:
+    raw = dev.read_ctx(ctx, ptr.addr, count * 4)
+    return np.frombuffer(raw, dtype=np.float32).copy()
+
+
+def read_i32(dev, ctx, ptr, count: int) -> np.ndarray:
+    raw = dev.read_ctx(ctx, ptr.addr, count * 4)
+    return np.frombuffer(raw, dtype=np.int32).copy()
+
+
+def write_arr(dev, ctx, ptr, arr: np.ndarray) -> None:
+    dev.write_ctx(ctx, ptr.addr, np.ascontiguousarray(arr).tobytes())
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))

@@ -1,0 +1,109 @@
+"""Back Propagation (BP): 589,824-node input layer, 16 hidden units.
+
+Two kernels, as in Rodinia: ``bp_layerforward`` (input->hidden forward
+pass with sigmoid activation) and ``bp_adjust_weights`` (gradient
+update of the input-hidden weight matrix).  Table 5: 117.0 MB HtoD
+(input units + weights + previous weights + scratch), 42.75 MB DtoH
+(updated weights + deltas).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import MB, Workload
+from repro.workloads.calibration import RODINIA_COMPUTE_SECONDS
+from repro.workloads.rodinia._common import (
+    read_f32,
+    registry,
+    sigmoid,
+    write_arr,
+)
+
+N_IN = 589_824
+N_HID = 16
+LEARNING_RATE = 0.3
+MOMENTUM = 0.3
+
+
+@registry.kernel("rodinia.bp_layerforward")
+def _bp_layerforward(dev, ctx, params) -> None:
+    """hidden = sigmoid(bias + x @ W): (x, w, hid, n_in, n_hid)."""
+    x_ptr, w_ptr, hid_ptr, n_in, n_hid = params
+    x = read_f32(dev, ctx, x_ptr, n_in)
+    w = read_f32(dev, ctx, w_ptr, (n_in + 1) * n_hid).reshape(n_in + 1, n_hid)
+    hid = sigmoid(w[0] + x @ w[1:])
+    write_arr(dev, ctx, hid_ptr, hid.astype(np.float32))
+
+
+@registry.kernel("rodinia.bp_adjust_weights")
+def _bp_adjust_weights(dev, ctx, params) -> None:
+    """W += lr * outer([1; x], delta): (x, w, delta, n_in, n_hid, lr)."""
+    x_ptr, w_ptr, delta_ptr, n_in, n_hid, lr = params
+    x = read_f32(dev, ctx, x_ptr, n_in)
+    w = read_f32(dev, ctx, w_ptr, (n_in + 1) * n_hid).reshape(n_in + 1, n_hid)
+    delta = read_f32(dev, ctx, delta_ptr, n_hid)
+    augmented = np.concatenate(([np.float32(1.0)], x))
+    w += np.float32(lr) * np.outer(augmented, delta).astype(np.float32)
+    write_arr(dev, ctx, w_ptr, w)
+
+
+class BackProp(Workload):
+    app_code = "BP"
+    name = "backprop"
+    problem_desc = "589,824 nodes"
+    modeled_h2d = int(117.0 * MB)
+    modeled_d2h = int(42.75 * MB)
+    n_launches = 2
+    compute_seconds = RODINIA_COMPUTE_SECONDS["BP"]
+
+    def run(self, api, inflation: float = 1.0) -> None:
+        n_in = self.scaled_elems(N_IN, inflation)
+        rng = np.random.default_rng(seed=7)
+        x = rng.random(n_in, dtype=np.float32)
+        w = (rng.random(((n_in + 1), N_HID), dtype=np.float32) - 0.5) * 0.02
+        target = rng.random(N_HID, dtype=np.float32)
+
+        x_bytes, w_bytes = x.nbytes, w.nbytes
+        d_x = api.cuMemAlloc(x_bytes)
+        d_w = api.cuMemAlloc(w_bytes)
+        d_wprev = api.cuMemAlloc(w_bytes)   # momentum copy (round-tripped)
+        d_hid = api.cuMemAlloc(N_HID * 4)
+        d_delta = api.cuMemAlloc(N_HID * 4)
+        api.cuMemcpyHtoD(d_x, x)
+        api.cuMemcpyHtoD(d_w, w)
+        api.cuMemcpyHtoD(d_wprev, w)
+        module = api.cuModuleLoad(["rodinia.bp_layerforward",
+                                   "rodinia.bp_adjust_weights",
+                                   "builtin.memset32"])
+        per_launch = self.per_launch_seconds()
+        api.cuLaunchKernel(module, "rodinia.bp_layerforward",
+                           [d_x, d_w, d_hid, n_in, N_HID],
+                           compute_seconds=per_launch)
+        hid = np.frombuffer(api.cuMemcpyDtoH(d_hid, N_HID * 4),
+                            dtype=np.float32)
+        expected_hid = sigmoid(w[0] + x @ w[1:])
+        self.check_close(hid, expected_hid, "hidden activations", rtol=1e-3)
+
+        delta = (hid * (1.0 - hid) * (target - hid)).astype(np.float32)
+        api.cuMemcpyHtoD(d_delta, delta)
+        api.cuLaunchKernel(module, "rodinia.bp_adjust_weights",
+                           [d_x, d_w, d_delta, n_in, N_HID,
+                            float(LEARNING_RATE)],
+                           compute_seconds=per_launch)
+        w_new = np.frombuffer(api.cuMemcpyDtoH(d_w, w_bytes),
+                              dtype=np.float32).reshape(n_in + 1, N_HID)
+        expected_w = w + LEARNING_RATE * np.outer(
+            np.concatenate(([1.0], x)).astype(np.float32), delta
+        ).astype(np.float32)
+        self.check_close(w_new, expected_w, "updated weights", rtol=1e-3)
+
+        # Pad transfers up to Table 5's totals (masks/scratch in Rodinia).
+        semantic_h2d = (x_bytes + 2 * w_bytes + 2 * N_HID * 4) * inflation
+        semantic_d2h = (w_bytes + N_HID * 4) * inflation
+        self.send_pad(api, max(int((self.modeled_h2d - semantic_h2d)
+                                   / inflation), 0), seed=11)
+        self.fetch_pad(api, module, max(int((self.modeled_d2h - semantic_d2h)
+                                            / inflation), 0))
+        for ptr in (d_x, d_w, d_wprev, d_hid, d_delta):
+            api.cuMemFree(ptr)

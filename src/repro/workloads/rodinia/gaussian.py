@@ -1,0 +1,97 @@
+"""Gaussian Elimination (GS): 2048x2048 dense system.
+
+Rodinia's two-kernel structure: ``gs_fan1`` computes the column of
+multipliers for pivot *t*, ``gs_fan2`` applies the rank-1 update to the
+trailing matrix and RHS.  One pair of launches per pivot column makes GS
+the launch-heaviest app in the suite — and its high compute-to-
+communication ratio is why the paper reports HIX "comparable" here.
+Table 5: 32 MB both directions (matrix + multipliers, float32).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import MB, Workload
+from repro.workloads.calibration import RODINIA_COMPUTE_SECONDS
+from repro.workloads.rodinia._common import read_f32, registry, write_arr
+
+N = 2048
+
+
+@registry.kernel("rodinia.gs_fan1")
+def _gs_fan1(dev, ctx, params) -> None:
+    """m[i,t] = a[i,t] / a[t,t] for i > t: (m, a, n, t)."""
+    m_ptr, a_ptr, n, t = params
+    a = read_f32(dev, ctx, a_ptr, n * n).reshape(n, n)
+    m = read_f32(dev, ctx, m_ptr, n * n).reshape(n, n)
+    m[t + 1:, t] = a[t + 1:, t] / a[t, t]
+    write_arr(dev, ctx, m_ptr, m)
+
+
+@registry.kernel("rodinia.gs_fan2")
+def _gs_fan2(dev, ctx, params) -> None:
+    """Trailing update a -= m[:,t] outer a[t,:], b likewise: (m, a, b, n, t)."""
+    m_ptr, a_ptr, b_ptr, n, t = params
+    a = read_f32(dev, ctx, a_ptr, n * n).reshape(n, n)
+    m = read_f32(dev, ctx, m_ptr, n * n).reshape(n, n)
+    b = read_f32(dev, ctx, b_ptr, n)
+    multipliers = m[t + 1:, t:t + 1]
+    a[t + 1:, :] -= multipliers * a[t:t + 1, :]
+    b[t + 1:] -= multipliers[:, 0] * b[t]
+    write_arr(dev, ctx, a_ptr, a)
+    write_arr(dev, ctx, b_ptr, b)
+
+
+class Gaussian(Workload):
+    app_code = "GS"
+    name = "gaussian"
+    problem_desc = "2048x2048 points"
+    modeled_h2d = int(32.00 * MB)
+    modeled_d2h = int(32.00 * MB)
+    n_launches = 2 * (N - 1)
+    compute_seconds = RODINIA_COMPUTE_SECONDS["GS"]
+
+    def run(self, api, inflation: float = 1.0) -> None:
+        n = self.scaled_dim(N, inflation)
+        rng = np.random.default_rng(seed=23)
+        a0 = rng.random((n, n), dtype=np.float32) + np.float32(n) * np.eye(
+            n, dtype=np.float32)   # diagonally dominant: stable w/o pivoting
+        b0 = rng.random(n, dtype=np.float32)
+
+        nbytes = n * n * 4
+        d_a = api.cuMemAlloc(nbytes)
+        d_m = api.cuMemAlloc(nbytes)
+        d_b = api.cuMemAlloc(n * 4)
+        api.cuMemcpyHtoD(d_a, a0)
+        api.cuMemcpyHtoD(d_m, np.zeros((n, n), dtype=np.float32))
+        api.cuMemcpyHtoD(d_b, b0)
+        module = api.cuModuleLoad(["rodinia.gs_fan1", "rodinia.gs_fan2",
+                                   "builtin.memset32"])
+        per_launch = self.per_launch_seconds()
+        for t in range(n - 1):
+            api.cuLaunchKernel(module, "rodinia.gs_fan1", [d_m, d_a, n, t],
+                               compute_seconds=per_launch)
+            api.cuLaunchKernel(module, "rodinia.gs_fan2",
+                               [d_m, d_a, d_b, n, t],
+                               compute_seconds=per_launch)
+
+        upper = np.frombuffer(api.cuMemcpyDtoH(d_a, nbytes),
+                              dtype=np.float32).reshape(n, n)
+        api.cuMemcpyDtoH(d_m, nbytes)   # multipliers come back too (Table 5)
+        b_final = np.frombuffer(api.cuMemcpyDtoH(d_b, n * 4),
+                                dtype=np.float32)
+
+        # Back-substitution on the host, then verify against the original
+        # system (the end-to-end check Rodinia performs offline).
+        x = np.zeros(n, dtype=np.float64)
+        u = upper.astype(np.float64)
+        rhs = b_final.astype(np.float64)
+        for i in range(n - 1, -1, -1):
+            x[i] = (rhs[i] - u[i, i + 1:] @ x[i + 1:]) / u[i, i]
+        residual = a0.astype(np.float64) @ x - b0.astype(np.float64)
+        self.check(float(np.max(np.abs(residual))) < 1e-2,
+                   f"solution residual too large "
+                   f"({float(np.max(np.abs(residual))):g})")
+        for ptr in (d_a, d_m, d_b):
+            api.cuMemFree(ptr)

@@ -1,0 +1,78 @@
+"""Hotspot (HS): 1024x1024 thermal stencil.
+
+One ``rodinia.hs_step`` launch per simulation step applies the classic
+five-point thermal update with a power-density source term.  HS's small
+transfers (8 MB in, 4 MB out) make it init-dominated, which is why the
+paper sees HIX slightly *faster* here.  Table 5: 8 MB HtoD (temperature
++ power grids), 4 MB DtoH (final temperature).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import MB, Workload
+from repro.workloads.calibration import RODINIA_COMPUTE_SECONDS
+from repro.workloads.rodinia._common import read_f32, registry, write_arr
+
+N = 1024
+STEPS = 5            # functional steps (verified against numpy)
+STEPS_MODELED = 60   # Rodinia's default simulation length
+ALPHA = 0.18     # diffusion coefficient (stable for the 5-point stencil)
+POWER_GAIN = 0.05
+
+
+def _step(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """Reference single step (shared by the kernel and the verifier)."""
+    padded = np.pad(temp, 1, mode="edge")
+    laplacian = (padded[:-2, 1:-1] + padded[2:, 1:-1]
+                 + padded[1:-1, :-2] + padded[1:-1, 2:]
+                 - 4.0 * temp)
+    return (temp + np.float32(ALPHA) * laplacian
+            + np.float32(POWER_GAIN) * power).astype(np.float32)
+
+
+@registry.kernel("rodinia.hs_step")
+def _hs_step(dev, ctx, params) -> None:
+    """(temp, power, rows, cols) — updates temp in place."""
+    temp_ptr, power_ptr, rows, cols = params
+    temp = read_f32(dev, ctx, temp_ptr, rows * cols).reshape(rows, cols)
+    power = read_f32(dev, ctx, power_ptr, rows * cols).reshape(rows, cols)
+    write_arr(dev, ctx, temp_ptr, _step(temp, power))
+
+
+class Hotspot(Workload):
+    app_code = "HS"
+    name = "hotspot"
+    problem_desc = "1024x1024 points"
+    modeled_h2d = int(8.00 * MB)
+    modeled_d2h = int(4.00 * MB)
+    n_launches = STEPS_MODELED
+    compute_seconds = RODINIA_COMPUTE_SECONDS["HS"]
+
+    def run(self, api, inflation: float = 1.0) -> None:
+        n = self.scaled_dim(N, inflation)
+        rng = np.random.default_rng(seed=29)
+        temp0 = (rng.random((n, n), dtype=np.float32) * 40.0 + 320.0)
+        power = rng.random((n, n), dtype=np.float32)
+
+        nbytes = n * n * 4
+        d_temp = api.cuMemAlloc(nbytes)
+        d_power = api.cuMemAlloc(nbytes)
+        api.cuMemcpyHtoD(d_temp, temp0)
+        api.cuMemcpyHtoD(d_power, power)
+        module = api.cuModuleLoad(["rodinia.hs_step", "builtin.memset32"])
+        per_launch = self.per_launch_seconds()
+        for _ in range(STEPS):
+            api.cuLaunchKernel(module, "rodinia.hs_step",
+                               [d_temp, d_power, n, n],
+                               compute_seconds=per_launch)
+        result = np.frombuffer(api.cuMemcpyDtoH(d_temp, nbytes),
+                               dtype=np.float32).reshape(n, n)
+
+        expected = temp0.copy()
+        for _ in range(STEPS):
+            expected = _step(expected, power)
+        self.check_close(result, expected, "temperature field", rtol=1e-3)
+        api.cuMemFree(d_temp)
+        api.cuMemFree(d_power)

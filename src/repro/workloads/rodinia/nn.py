@@ -1,0 +1,69 @@
+"""K-Nearest Neighbors (NN): distances to ~42k hurricane records.
+
+One ``rodinia.nn_dist`` launch computes Euclidean distances from a
+target coordinate to every (lat, lng) record; the host selects the k
+nearest, as Rodinia does.  Table 5: 334.1 KB HtoD (the record array,
+8 B each), 167.05 KB DtoH (the float32 distance array) — the smallest
+workload in the suite, dominated by task initialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import KB, Workload
+from repro.workloads.calibration import RODINIA_COMPUTE_SECONDS
+from repro.workloads.rodinia._common import read_f32, registry, write_arr
+
+N_RECORDS = 42_765   # 334.1 KB / 8 bytes per (lat, lng) record
+K_NEIGHBORS = 10
+TARGET = (30.0, -90.0)
+
+
+@registry.kernel("rodinia.nn_dist")
+def _nn_dist(dev, ctx, params) -> None:
+    """(locations, dist, n, lat, lng): dist[i] = ||loc[i] - target||."""
+    loc_ptr, dist_ptr, n, lat, lng = params
+    locations = read_f32(dev, ctx, loc_ptr, n * 2).reshape(n, 2)
+    delta = locations - np.array([lat, lng], dtype=np.float32)
+    write_arr(dev, ctx, dist_ptr,
+              np.sqrt((delta * delta).sum(axis=1)).astype(np.float32))
+
+
+class NearestNeighbor(Workload):
+    app_code = "NN"
+    name = "nn"
+    problem_desc = "default inputs (42,765 records)"
+    modeled_h2d = int(334.1 * KB)
+    modeled_d2h = int(167.05 * KB)
+    n_launches = 1
+    compute_seconds = RODINIA_COMPUTE_SECONDS["NN"]
+
+    def run(self, api, inflation: float = 1.0) -> None:
+        n = self.scaled_elems(N_RECORDS, inflation)
+        rng = np.random.default_rng(seed=41)
+        locations = np.empty((n, 2), dtype=np.float32)
+        locations[:, 0] = rng.random(n, dtype=np.float32) * 60.0   # lat
+        locations[:, 1] = rng.random(n, dtype=np.float32) * -120.0  # lng
+
+        d_loc = api.cuMemAlloc(locations.nbytes)
+        d_dist = api.cuMemAlloc(n * 4)
+        api.cuMemcpyHtoD(d_loc, locations)
+        module = api.cuModuleLoad(["rodinia.nn_dist", "builtin.memset32"])
+        api.cuLaunchKernel(module, "rodinia.nn_dist",
+                           [d_loc, d_dist, n, TARGET[0], TARGET[1]],
+                           compute_seconds=self.compute_seconds)
+        dist = np.frombuffer(api.cuMemcpyDtoH(d_dist, n * 4),
+                             dtype=np.float32)
+
+        expected = np.sqrt(((locations
+                             - np.array(TARGET, dtype=np.float32)) ** 2
+                            ).sum(axis=1))
+        self.check_close(dist, expected, "distance array", rtol=1e-4)
+        k = min(K_NEIGHBORS, n)
+        nearest = np.argsort(dist)[:k]
+        self.check(bool((np.sort(dist[nearest])
+                         == np.sort(np.sort(expected)[:k])).all()),
+                   "k-nearest selection mismatch")
+        api.cuMemFree(d_loc)
+        api.cuMemFree(d_dist)

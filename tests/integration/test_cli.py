@@ -1,0 +1,73 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pathfinder" in out and "matrix-add-2048" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for table_id in ("Table 1", "Table 2", "Table 3", "Table 4",
+                         "Table 5"):
+            assert table_id in out
+
+    def test_run_workload_gdev(self, capsys):
+        assert main(["run", "nn", "--mode", "gdev",
+                     "--inflation", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "nn on gdev" in out
+        assert "task_init" in out
+
+    def test_run_workload_hix(self, capsys):
+        assert main(["run", "hotspot", "--mode", "hix",
+                     "--inflation", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspot on hix" in out
+        assert "session_setup" in out
+
+    def test_run_matrix_by_name(self, capsys):
+        assert main(["run", "matrix-add-2048", "--mode", "gdev",
+                     "--inflation", "2048"]) == 0
+        assert "matrix-add-2048" in capsys.readouterr().out
+
+    def test_run_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom-eternal"])
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "8"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_attacks_exit_code_reflects_defense(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "attack-surface analysis" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliExtras:
+    def test_costs(self, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["costs"]) == 0
+        out = capsys.readouterr().out
+        assert "pcie_h2d_bandwidth" in out and "GB/s" in out
+
+    def test_report_without_artifacts(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["report", "--artifacts", str(tmp_path)]) == 1
+
+    def test_report_with_artifacts(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        (tmp_path / "x.txt").write_text("ARTIFACT BODY")
+        assert cli_main(["report", "--artifacts", str(tmp_path)]) == 0
+        assert "ARTIFACT BODY" in capsys.readouterr().out

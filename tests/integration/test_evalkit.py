@@ -1,0 +1,121 @@
+"""Integration tests for the evaluation kit: figures, tables, multiuser.
+
+Figure-level *shape* assertions live here (the reproduction's acceptance
+criteria); the full-resolution runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.evalkit.figures import (
+    ablation_pipelining,
+    ablation_single_copy,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.evalkit.harness import (
+    GDEV,
+    HIX,
+    run_multiuser,
+    single_user_model_time,
+    user_segments,
+)
+from repro.evalkit.tables import all_tables, table2, table4, table5
+from repro.sim.costs import CostModel
+from repro.workloads import MatrixAdd
+from repro.workloads.rodinia import BackProp, Hotspot, Pathfinder
+
+INFLATION = 2048.0
+
+
+class TestFigureShapes:
+    def test_figure6_add_crypto_bound(self):
+        panels = figure6(inflation=INFLATION, sizes=(2048, 8192))
+        add = panels["add"]
+        # Addition: security cost grows with size; clearly slower at 8192.
+        assert add.series["slowdown_x"][-1] > 2.0
+        assert add.series["slowdown_x"][-1] > add.series["slowdown_x"][0]
+
+    def test_figure6_mul_compute_bound(self):
+        panels = figure6(inflation=INFLATION, sizes=(2048, 11264))
+        mul = panels["mul"]
+        # Multiplication: overhead shrinks as compute grows; small at 11264.
+        assert mul.series["slowdown_x"][-1] < 1.12
+        assert mul.series["slowdown_x"][-1] < mul.series["slowdown_x"][0]
+
+    def test_figure7_shape(self):
+        data = figure7(inflation=INFLATION, apps=("BP", "GS", "HS", "PF"))
+        overhead = dict(zip(data.x_labels, data.series["overhead_pct"]))
+        assert overhead["PF"] > overhead["BP"] > 40.0   # worst cases
+        assert abs(overhead["GS"]) < 12.0               # comparable
+        assert overhead["HS"] < 2.0                     # slightly faster
+
+    def test_figure8_shape(self):
+        data = figure8(apps=("BP", "HS", "PF"))
+        for app_index in range(3):
+            gdev = data.series["Gdev"][app_index]
+            hix = data.series["HIX"][app_index]
+            seq = data.series["HIX-sequential"][app_index]
+            assert hix < seq      # parallel beats sequential service
+            assert gdev < 2.0     # parallel Gdev beats 2x serial
+
+
+class TestMultiuserHarness:
+    def test_more_users_longer_makespan(self):
+        costs = CostModel()
+        workload = BackProp()
+        times = [run_multiuser(workload, HIX, n, costs) for n in (1, 2, 4)]
+        assert times[0] < times[1] < times[2]
+
+    def test_hix_slower_than_gdev_same_users(self):
+        costs = CostModel()
+        workload = Pathfinder()
+        assert (run_multiuser(workload, HIX, 2, costs)
+                > run_multiuser(workload, GDEV, 2, costs))
+
+    def test_single_user_model_close_to_functional(self):
+        """The analytic 1-user time tracks the functional harness."""
+        from repro.evalkit.harness import run_single
+        workload = Hotspot()
+        analytic = single_user_model_time(workload, GDEV, CostModel())
+        functional = run_single(workload, GDEV, INFLATION).seconds
+        assert analytic == pytest.approx(functional, rel=0.25)
+
+    def test_segments_cover_all_phases(self):
+        costs = CostModel()
+        segments = user_segments(BackProp(), costs, HIX)
+        kinds = {s.label for s in segments}
+        assert {"init", "h2d", "d2h", "crypto", "kernel"} <= kinds
+
+
+class TestTables:
+    def test_table2_live_checks_pass(self):
+        data = table2()
+        assert len(data.rows) == 8
+        assert data.notes
+
+    def test_table4_matches_paper(self):
+        rows = {row[0]: row for row in table4().rows}
+        assert rows["2048x2048"][1] == "32.00MB"
+        assert rows["11264x11264"][3] == "1452.00MB"
+
+    def test_table5_covers_all_apps(self):
+        assert len(table5().rows) == 9
+
+    def test_all_tables_render(self):
+        for table in all_tables():
+            text = table.render()
+            assert table.table_id in text
+
+
+class TestAblations:
+    def test_pipelining_helps(self):
+        data = ablation_pipelining(inflation=INFLATION, dim=8192)
+        pipelined = data.series["pipelined-4MB"][0]
+        serial = data.series["serial"][0]
+        assert pipelined < serial
+
+    def test_single_copy_helps(self):
+        data = ablation_single_copy(inflation=INFLATION, dim=8192)
+        assert (data.series["single-copy (HIX)"][0]
+                < data.series["double-copy (naive)"][0])

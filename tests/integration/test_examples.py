@@ -1,0 +1,25 @@
+"""Every example script must run clean end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+    assert "bug!" not in out
+    assert "LEAK!" not in out
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "secure_ml_inference", "multi_tenant_cloud",
+            "attack_demo", "accelerator_offload"} <= names

@@ -1,0 +1,127 @@
+"""Integration tests: the Gdev baseline stack end to end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DriverError, OutOfDeviceMemory
+from repro.system import Machine, MachineConfig
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig())
+
+
+@pytest.fixture
+def app(machine):
+    driver = machine.make_gdev()
+    session = machine.gdev_session(driver)
+    session.cuCtxCreate()
+    return session
+
+
+class TestGdevEndToEnd:
+    def test_memcpy_roundtrip(self, app):
+        data = np.arange(4096, dtype=np.int32)
+        buf = app.cuMemAlloc(data.nbytes)
+        app.cuMemcpyHtoD(buf, data)
+        back = np.frombuffer(app.cuMemcpyDtoH(buf, data.nbytes),
+                             dtype=np.int32)
+        assert (back == data).all()
+
+    def test_matrix_add_kernel(self, app):
+        a = np.arange(256, dtype=np.int32)
+        b = np.arange(256, dtype=np.int32)[::-1].copy()
+        da, db, dc = (app.cuMemAlloc(a.nbytes) for _ in range(3))
+        app.cuMemcpyHtoD(da, a)
+        app.cuMemcpyHtoD(db, b)
+        module = app.cuModuleLoad(["builtin.matrix_add"])
+        app.cuLaunchKernel(module, "builtin.matrix_add", [da, db, dc, 256])
+        result = np.frombuffer(app.cuMemcpyDtoH(dc, a.nbytes), dtype=np.int32)
+        assert (result == a + b).all()
+
+    def test_vector_scale_kernel(self, app):
+        x = np.arange(64, dtype=np.int32)
+        dx = app.cuMemAlloc(x.nbytes)
+        app.cuMemcpyHtoD(dx, x)
+        module = app.cuModuleLoad(["builtin.vector_scale"])
+        app.cuLaunchKernel(module, "builtin.vector_scale", [dx, 64, 3])
+        result = np.frombuffer(app.cuMemcpyDtoH(dx, x.nbytes), dtype=np.int32)
+        assert (result == x * 3).all()
+
+    def test_large_transfer_through_staging(self, app):
+        """Transfers larger than the 16 MiB staging buffer chunk correctly."""
+        data = np.random.default_rng(1).integers(
+            0, 255, size=20 << 20, dtype=np.uint8)
+        buf = app.cuMemAlloc(data.nbytes)
+        app.cuMemcpyHtoD(buf, data)
+        back = np.frombuffer(app.cuMemcpyDtoH(buf, data.nbytes),
+                             dtype=np.uint8)
+        assert (back == data).all()
+
+    def test_launch_unknown_kernel(self, app):
+        module = app.cuModuleLoad(["builtin.matrix_add"])
+        with pytest.raises(Exception):
+            app.cuLaunchKernel(module, "no.such.kernel", [])
+
+    def test_kernel_cannot_touch_unmapped_va(self, app):
+        from repro.gpu.module import DevPtr
+        module = app.cuModuleLoad(["builtin.memset32"])
+        with pytest.raises(DriverError):
+            app.cuLaunchKernel(module, "builtin.memset32",
+                               [DevPtr(0xDEAD0000), 64, 1])
+
+    def test_vram_exhaustion(self, machine, app):
+        vram = machine.config.vram_size_actual
+        with pytest.raises(OutOfDeviceMemory):
+            app.cuMemAlloc(2 * vram)
+
+    def test_free_then_use_rejected(self, app):
+        buf = app.cuMemAlloc(4096)
+        app.cuMemFree(buf)
+        with pytest.raises(DriverError):
+            app.cuMemcpyHtoD(buf, b"x" * 16)
+
+    def test_double_ctx_create_rejected(self, app):
+        with pytest.raises(DriverError):
+            app.cuCtxCreate()
+
+    def test_two_processes_two_contexts(self, machine):
+        driver = machine.make_gdev()
+        a = machine.gdev_session(driver, "a").cuCtxCreate()
+        b = machine.gdev_session(driver, "b").cuCtxCreate()
+        assert a.ctx.ctx_id != b.ctx.ctx_id
+        buf_a = a.cuMemAlloc(4096)
+        buf_b = b.cuMemAlloc(4096)
+        a.cuMemcpyHtoD(buf_a, b"AAAA" * 4)
+        b.cuMemcpyHtoD(buf_b, b"BBBB" * 4)
+        assert a.cuMemcpyDtoH(buf_a, 16) == b"AAAA" * 4
+        assert b.cuMemcpyDtoH(buf_b, 16) == b"BBBB" * 4
+
+    def test_ctx_destroy_releases_vram(self, machine):
+        driver = machine.make_gdev()
+        app = machine.gdev_session(driver).cuCtxCreate()
+        in_use_before = driver.vram.bytes_in_use
+        app.cuMemAlloc(1 << 20)
+        app.cuModuleLoad(["builtin.matrix_add"])
+        app.cuCtxDestroy()
+        assert driver.vram.bytes_in_use == in_use_before
+
+    def test_timing_charged(self, machine):
+        driver = machine.make_gdev()
+        app = machine.gdev_session(driver)
+        before = machine.clock.now
+        app.cuCtxCreate()
+        assert machine.clock.now - before >= machine.costs.gdev_task_init
+
+    def test_transfer_time_scales_with_size(self, machine):
+        driver = machine.make_gdev()
+        app = machine.gdev_session(driver).cuCtxCreate()
+        buf = app.cuMemAlloc(8 << 20)
+        snap = machine.clock.snapshot()
+        app.cuMemcpyHtoD(buf, bytes(1 << 20))
+        t_small = machine.clock.elapsed_since(snap).total
+        snap = machine.clock.snapshot()
+        app.cuMemcpyHtoD(buf, bytes(8 << 20))
+        t_large = machine.clock.elapsed_since(snap).total
+        assert t_large > 4 * t_small

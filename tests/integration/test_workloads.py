@@ -1,0 +1,101 @@
+"""Integration tests: every workload runs and verifies on both stacks.
+
+These use a high data-inflation factor so the functional problems stay
+small while the clock sees paper-scale sizes — the same configuration
+the benchmark harness uses.
+"""
+
+import pytest
+
+from repro.evalkit.harness import GDEV, HIX, run_single
+from repro.system import Machine, MachineConfig
+from repro.workloads import MatrixAdd, MatrixMul, rodinia_workloads
+from repro.workloads.rodinia import RODINIA_APPS
+
+INFLATION = 1024.0
+
+
+def _workloads():
+    items = [MatrixAdd(2048), MatrixMul(2048)] + rodinia_workloads()
+    return [pytest.param(w, id=w.name) for w in items]
+
+
+@pytest.mark.parametrize("workload", _workloads())
+def test_runs_and_verifies_on_gdev(workload):
+    result = run_single(workload, GDEV, INFLATION)
+    assert result.seconds > 0
+    assert result.verified
+
+
+@pytest.mark.parametrize("workload", _workloads())
+def test_runs_and_verifies_on_hix(workload):
+    result = run_single(workload, HIX, INFLATION)
+    assert result.seconds > 0
+    assert result.verified
+
+
+def _data_heavy():
+    from repro.workloads.rodinia import (
+        BackProp, Bfs, NeedlemanWunsch, Pathfinder, Srad)
+    items = [MatrixAdd(4096), BackProp(), Bfs(), NeedlemanWunsch(),
+             Pathfinder(), Srad()]
+    return [pytest.param(w, id=w.name) for w in items]
+
+
+@pytest.mark.parametrize("workload", _data_heavy())
+def test_transfer_volume_close_to_declared(workload):
+    """The functional run's charged bytes track the Table 4/5 volumes.
+
+    Checked on the transfer-dominated workloads, where per-launch
+    parameter copies and module uploads are negligible against the bulk
+    data volume.
+    """
+    machine = Machine(MachineConfig(data_inflation=INFLATION))
+    driver = machine.make_gdev()
+    app = machine.gdev_session(driver, workload.name).cuCtxCreate()
+    snap = machine.clock.snapshot()
+    workload.run(app, INFLATION)
+    elapsed = machine.clock.elapsed_since(snap)
+    h2d_seconds = elapsed.by_category.get("copy_h2d", 0.0)
+    modeled_seconds = (workload.modeled_h2d
+                       / machine.costs.pcie_h2d_bandwidth)
+    # Within 20%: scaling granularity and per-op setup latencies.
+    assert h2d_seconds == pytest.approx(modeled_seconds, rel=0.2)
+
+
+def test_rodinia_metadata_matches_table5():
+    by_code = {w.app_code: w for w in rodinia_workloads()}
+    assert set(by_code) == set(RODINIA_APPS)
+    mb = 1 << 20
+    assert by_code["PF"].modeled_h2d == 256 * mb
+    assert by_code["GS"].modeled_h2d == 32 * mb
+    assert by_code["GS"].modeled_d2h == 32 * mb
+    assert by_code["HS"].modeled_h2d == 8 * mb
+    assert by_code["LUD"].modeled_d2h == 16 * mb
+    assert by_code["BP"].modeled_h2d == int(117.0 * mb)
+    assert by_code["NN"].modeled_h2d == int(334.1 * 1024)
+
+
+def test_launch_correction_applied():
+    """GS's scaled run issues fewer launches; the harness tops it up."""
+    from repro.workloads.rodinia import Gaussian
+    result = run_single(Gaussian(), GDEV, INFLATION)
+    assert result.actual_launches < result.modeled_launches
+    assert result.breakdown.get("launch", 0.0) > 0.0
+
+
+def test_compute_residual_charged():
+    from repro.workloads.rodinia import Gaussian
+    workload = Gaussian()
+    result = run_single(workload, GDEV, INFLATION)
+    assert result.breakdown.get("gpu_compute", 0.0) == pytest.approx(
+        workload.compute_seconds, rel=0.01)
+
+
+@pytest.mark.parametrize("dim", [2048, 4096])
+def test_matrix_table4_sizes(dim):
+    from repro.workloads.matrix import matrix_data_sizes
+    sizes = matrix_data_sizes(dim)
+    assert sizes["h2d"] == 2 * dim * dim * 4
+    assert sizes["d2h"] == dim * dim * 4
+    assert sizes["total"] == 3 * dim * dim * 4

@@ -1,0 +1,128 @@
+"""Property-based tests for the cryptography substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.blob import open_blob, seal_blob, sealed_size
+from repro.crypto.nonce import NonceSequence
+from repro.crypto.ocb import OCB_AES128
+from repro.crypto.suite import FastAuthSuite, OcbAesSuite
+from repro.errors import IntegrityError
+
+keys = st.binary(min_size=16, max_size=16)
+nonces = st.binary(min_size=12, max_size=12)
+small_payloads = st.binary(max_size=200)
+payloads = st.binary(max_size=4096)
+
+
+class TestAesProperties:
+    @given(key=keys, block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_decrypt_inverts_encrypt(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(key=keys, block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_encryption_changes_block(self, key, block):
+        # AES is a permutation; a fixed point for a random (key, block)
+        # is astronomically unlikely — treat as a smoke invariant.
+        assert AES128(key).encrypt_block(block) != block or block == b""
+
+
+class TestOcbProperties:
+    @given(key=keys, nonce=nonces, plaintext=small_payloads,
+           ad=st.binary(max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, key, nonce, plaintext, ad):
+        ocb = OCB_AES128(key)
+        ciphertext, tag = ocb.encrypt(nonce, plaintext, ad)
+        assert ocb.decrypt(nonce, ciphertext, tag, ad) == plaintext
+
+    @given(key=keys, nonce=nonces, plaintext=st.binary(min_size=1,
+                                                       max_size=120),
+           bit=st.integers(min_value=0, max_value=7),
+           position=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_any_bitflip_detected(self, key, nonce, plaintext, bit, position):
+        ocb = OCB_AES128(key)
+        ciphertext, tag = ocb.encrypt(nonce, plaintext)
+        index = position.draw(st.integers(0, len(ciphertext) - 1))
+        mutated = bytearray(ciphertext)
+        mutated[index] ^= 1 << bit
+        with pytest.raises(IntegrityError):
+            ocb.decrypt(nonce, bytes(mutated), tag)
+
+    @given(key=keys, nonce=nonces, plaintext=small_payloads)
+    @settings(max_examples=20, deadline=None)
+    def test_length_preserving(self, key, nonce, plaintext):
+        ciphertext, tag = OCB_AES128(key).encrypt(nonce, plaintext)
+        assert len(ciphertext) == len(plaintext)
+        assert len(tag) == 16
+
+
+class TestSuiteEquivalence:
+    @given(key=keys, nonce=nonces, plaintext=payloads,
+           ad=st.binary(max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_suite_roundtrip(self, key, nonce, plaintext, ad):
+        suite = FastAuthSuite(key)
+        ciphertext, tag = suite.seal(nonce, plaintext, ad)
+        assert suite.open(nonce, ciphertext, tag, ad) == plaintext
+        assert len(ciphertext) == len(plaintext)
+
+    @given(key=keys, nonce=nonces, plaintext=st.binary(min_size=1,
+                                                       max_size=4096))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_suite_tamper_detection(self, key, nonce, plaintext):
+        suite = FastAuthSuite(key)
+        ciphertext, tag = suite.seal(nonce, plaintext)
+        mutated = bytearray(ciphertext)
+        mutated[len(mutated) // 2] ^= 0x01
+        with pytest.raises(IntegrityError):
+            suite.open(nonce, bytes(mutated), tag)
+
+    @given(key=keys, nonce=nonces, plaintext=small_payloads,
+           ad=st.binary(max_size=16))
+    @settings(max_examples=15, deadline=None)
+    def test_suites_interchangeable_semantics(self, key, nonce, plaintext, ad):
+        """Both engines satisfy the same contract (not the same bytes)."""
+        for suite_cls in (OcbAesSuite, FastAuthSuite):
+            suite = suite_cls(key)
+            ciphertext, tag = suite.seal(nonce, plaintext, ad)
+            assert suite.open(nonce, ciphertext, tag, ad) == plaintext
+
+
+class TestBlobProperties:
+    @given(key=keys, plaintext=payloads, ad=st.binary(max_size=32),
+           trailing=st.integers(min_value=0, max_value=128))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_with_trailing_bytes(self, key, plaintext, ad, trailing):
+        suite = FastAuthSuite(key)
+        blob = seal_blob(suite, NonceSequence(1), plaintext, ad)
+        assert len(blob) == sealed_size(len(plaintext))
+        assert open_blob(suite, blob + bytes(trailing), ad) == plaintext
+
+    @given(key=keys, plaintext=st.binary(min_size=1, max_size=512),
+           position=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_any_corruption_detected(self, key, plaintext, position):
+        suite = FastAuthSuite(key)
+        blob = bytearray(seal_blob(suite, NonceSequence(1), plaintext))
+        index = position.draw(st.integers(0, len(blob) - 1))
+        blob[index] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            open_blob(suite, bytes(blob))
+
+    @given(key=keys, count=st.integers(min_value=2, max_value=20))
+    @settings(max_examples=15, deadline=None)
+    def test_nonce_uniqueness_across_blobs(self, key, count):
+        from repro.crypto.blob import parse_blob
+        suite = FastAuthSuite(key)
+        seq = NonceSequence(1)
+        nonces = set()
+        for _ in range(count):
+            nonce, _, _ = parse_blob(seal_blob(suite, seq, b"x"))
+            nonces.add(nonce)
+        assert len(nonces) == count

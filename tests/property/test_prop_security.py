@@ -1,0 +1,124 @@
+"""Property-based tests over security-critical state machines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TgmrRegistrationError, TlbValidationError
+from repro.hw.mmu import AccessContext, AccessType, PageFlags
+from repro.hw.phys_mem import PAGE_SIZE
+from repro.pcie.config_space import Bar, CLASS_DISPLAY_VGA, Type0Config
+from repro.pcie.device import Bdf, PcieFunction
+from repro.pcie.topology import build_topology
+
+FLAGS = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
+MMIO_BASE = 0x1_0000_0000
+
+
+class _Endpoint(PcieFunction):
+    def __init__(self, bdf):
+        super().__init__(bdf, 0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        self.config.add_bar(Bar(index=0, size=0x100000))
+
+    def bar_read(self, *_):
+        return b"\x00" * 4
+
+    def bar_write(self, *_):
+        pass
+
+
+class TestLockdownInvariant:
+    @given(writes=st.lists(
+        st.tuples(st.sampled_from(["gpu", "port"]),
+                  st.integers(0, 0x30),
+                  st.integers(0, 2**32 - 1)),
+        max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_locked_routing_registers_never_change(self, writes):
+        """No sequence of config writes alters locked routing state."""
+        device = _Endpoint(Bdf(1, 0, 0))
+        root_complex, port = build_topology(MMIO_BASE, 1 << 30, [device])
+        root_complex.enable_lockdown(device.bdf)
+        frozen = {
+            ("gpu", offset): device.config.read(offset)
+            for offset in device.config.routing_register_offsets()
+        }
+        frozen.update({
+            ("port", offset): port.config.read(offset)
+            for offset in port.config.routing_register_offsets()
+        })
+        for target, offset, value in writes:
+            bdf = device.bdf if target == "gpu" else port.bdf
+            root_complex.config_write(bdf, offset & ~0x3, value)
+        for (target, offset), before in frozen.items():
+            config = device.config if target == "gpu" else port.config
+            assert config.read(offset) == before, (target, hex(offset))
+
+    @given(offsets=st.lists(st.integers(0, 0x30), max_size=10),
+           values=st.lists(st.integers(0, 2**32 - 1), max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_unlocked_tree_accepts_all_writes(self, offsets, values):
+        device = _Endpoint(Bdf(1, 0, 0))
+        root_complex, _ = build_topology(MMIO_BASE, 1 << 30, [device])
+        for offset, value in zip(offsets, values):
+            assert root_complex.config_write(device.bdf, offset & ~0x3, value)
+
+
+class TestTgmrInvariant:
+    def _machine(self):
+        from repro.system import Machine, MachineConfig
+        machine = Machine(MachineConfig())
+        process = machine.kernel.create_process("drv")
+        from repro.sgx.enclave import EnclaveImage
+        enclave = machine.kernel.load_enclave(
+            process, EnclaveImage.from_code("drv", b"driver"))
+        machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        return machine, enclave
+
+    @given(registrations=st.lists(
+        st.tuples(st.integers(0, 63), st.integers(0, 63),
+                  st.integers(1, 4)),
+        min_size=1, max_size=15))
+    @settings(max_examples=25, deadline=None)
+    def test_tgmr_stays_a_bijection(self, registrations):
+        """However EGADD is called, VA->PA stays one-to-one both ways."""
+        machine, enclave = self._machine()
+        bar0 = machine.gpu.config.bars[0]
+        va_base = 0x9000_0000
+        for va_page, pa_page, npages in registrations:
+            try:
+                machine.sgx.egadd(enclave.enclave_id,
+                                  va_base + va_page * PAGE_SIZE,
+                                  bar0.address + pa_page * PAGE_SIZE,
+                                  npages=npages)
+            except TgmrRegistrationError:
+                pass  # collisions correctly refused
+        entries = machine.sgx.hix.tgmr_entries
+        vas = [(e.enclave_id, e.vaddr) for e in entries]
+        pas = [e.paddr for e in entries]
+        assert len(set(vas)) == len(entries)
+        assert len(set(pas)) == len(entries)
+
+    @given(registrations=st.lists(
+        st.tuples(st.integers(0, 31), st.integers(0, 31)),
+        min_size=1, max_size=10, unique_by=(lambda r: r[0],
+                                            lambda r: r[1])))
+    @settings(max_examples=20, deadline=None)
+    def test_registered_pages_only_valid_for_exact_mapping(self, registrations):
+        machine, enclave = self._machine()
+        bar0 = machine.gpu.config.bars[0]
+        va_base = 0x9000_0000
+        validator = machine.sgx.translation_validator()
+        owner = AccessContext(asid=1, enclave_id=enclave.enclave_id)
+        stranger = AccessContext(asid=2)
+        for va_page, pa_page in registrations:
+            va = va_base + va_page * PAGE_SIZE
+            pa = bar0.address + pa_page * PAGE_SIZE
+            machine.sgx.egadd(enclave.enclave_id, va, pa)
+            validator(owner, va, pa, FLAGS, AccessType.READ)  # exact: ok
+            with pytest.raises(TlbValidationError):
+                validator(stranger, va, pa, FLAGS, AccessType.READ)
+            with pytest.raises(TlbValidationError):
+                validator(owner, va, 0x5000, FLAGS, AccessType.READ)
+            with pytest.raises(TlbValidationError):
+                validator(owner, va + 64 * PAGE_SIZE, pa, FLAGS,
+                          AccessType.READ)

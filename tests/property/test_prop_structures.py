@@ -1,0 +1,172 @@
+"""Property-based tests for core data structures and invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutOfDeviceMemory
+from repro.gdev.allocator import VramAllocator
+from repro.gpu.commands import CommandOpcode, decode_commands, encode_command
+from repro.gpu.module import CubinImage, DevPtr, pack_params, unpack_params
+from repro.hw.phys_mem import PAGE_SIZE, PhysicalMemory
+from repro.sim.pipeline import pipelined_time, serial_time
+
+GB = float(1 << 30)
+
+
+class TestPhysMemProperties:
+    @given(writes=st.lists(
+        st.tuples(st.integers(0, 60 * PAGE_SIZE), st.binary(max_size=300)),
+        max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_last_write_wins(self, writes):
+        mem = PhysicalMemory(64 * PAGE_SIZE)
+        shadow = bytearray(64 * PAGE_SIZE)
+        for addr, data in writes:
+            mem.write(addr, data)
+            shadow[addr:addr + len(data)] = data
+        for addr, data in writes:
+            assert mem.read(addr, len(data)) == bytes(
+                shadow[addr:addr + len(data)])
+
+    @given(addr=st.integers(0, 63 * PAGE_SIZE),
+           length=st.integers(0, PAGE_SIZE))
+    @settings(max_examples=30, deadline=None)
+    def test_reads_never_alias(self, addr, length):
+        mem = PhysicalMemory(64 * PAGE_SIZE)
+        mem.write(addr, b"\x42" * length)
+        data = mem.read(addr, length)
+        assert data == b"\x42" * length
+
+
+class TestAllocatorProperties:
+    @given(ops=st.lists(st.integers(min_value=1, max_value=64 * 1024),
+                        min_size=1, max_size=40),
+           data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_no_overlap_and_full_recovery(self, ops, data):
+        capacity = 4 << 20
+        allocator = VramAllocator(capacity)
+        live = {}
+        for size in ops:
+            try:
+                base = allocator.alloc(size)
+            except OutOfDeviceMemory:
+                continue
+            # Invariant: fresh allocations never overlap live ones.
+            for other_base, other_size in live.items():
+                assert (base + allocator.size_of(base) <= other_base
+                        or other_base + other_size <= base)
+            live[base] = allocator.size_of(base)
+            if live and data.draw(st.booleans()):
+                victim = data.draw(st.sampled_from(sorted(live)))
+                allocator.free(victim)
+                del live[victim]
+        free_before = allocator.bytes_free
+        for base in list(live):
+            allocator.free(base)
+        assert allocator.bytes_in_use == 0
+        assert allocator.bytes_free == free_before + sum(live.values())
+
+    @given(sizes=st.lists(st.integers(1, 32 * 1024), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_free_all_then_alloc_max(self, sizes):
+        """After freeing everything, coalescing restores one big block."""
+        capacity = 4 << 20
+        allocator = VramAllocator(capacity)
+        bases = []
+        for size in sizes:
+            try:
+                bases.append(allocator.alloc(size))
+            except OutOfDeviceMemory:
+                break
+        for base in bases:
+            allocator.free(base)
+        allocator.alloc(capacity - 2 * 4096)
+
+
+class TestCommandProperties:
+    opcode_strategy = st.sampled_from(list(CommandOpcode))
+
+    @given(commands=st.lists(
+        st.tuples(opcode_strategy,
+                  st.integers(0, 2**32 - 1),
+                  st.lists(st.integers(0, 2**64 - 1), max_size=6),
+                  st.binary(max_size=128)),
+        max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_batch_roundtrip(self, commands):
+        raw = b"".join(encode_command(op, ctx, tuple(args), blob)
+                       for op, ctx, args, blob in commands)
+        decoded = decode_commands(raw)
+        assert len(decoded) == len(commands)
+        for parsed, (op, ctx, args, blob) in zip(decoded, commands):
+            assert parsed.opcode is op
+            assert parsed.ctx_id == ctx
+            assert list(parsed.args) == args
+            assert parsed.blob == blob
+
+
+class TestParamProperties:
+    param_strategy = st.one_of(
+        st.integers(min_value=0, max_value=2**63 - 1),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.builds(DevPtr, st.integers(0, 2**48)),
+    )
+
+    @given(params=st.lists(param_strategy, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, params):
+        unpacked = unpack_params(pack_params(params))
+        assert len(unpacked) == len(params)
+        for got, want in zip(unpacked, params):
+            if isinstance(want, float):
+                assert got == pytest.approx(want, nan_ok=False)
+            else:
+                assert got == want
+
+
+class TestCubinProperties:
+    @given(names=st.lists(
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz._0123456789",
+                min_size=1, max_size=40),
+        min_size=0, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, names):
+        image = CubinImage(list(names))
+        assert CubinImage.from_bytes(image.to_bytes()).kernel_names == names
+
+
+class TestPipelineProperties:
+    bandwidths = st.floats(min_value=0.1 * GB, max_value=20 * GB)
+
+    @given(nbytes=st.floats(min_value=0, max_value=2 * GB),
+           stage_a=bandwidths, stage_b=bandwidths,
+           chunk=st.floats(min_value=64 * 1024, max_value=64 * (1 << 20)))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_serial_and_bottleneck(self, nbytes, stage_a,
+                                              stage_b, chunk):
+        stages = [stage_a, stage_b]
+        pipe = pipelined_time(nbytes, stages, chunk)
+        serial = serial_time(nbytes, stages)
+        bottleneck = nbytes / min(stages)
+        assert bottleneck - 1e-9 <= pipe <= serial + chunk / min(stages) + 1e-9
+
+    @given(nbytes=st.floats(min_value=1, max_value=GB),
+           bandwidth=bandwidths,
+           chunk=st.floats(min_value=64 * 1024, max_value=16 * (1 << 20)))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_bytes(self, nbytes, bandwidth, chunk):
+        stages = [bandwidth, 2 * bandwidth]
+        assert (pipelined_time(nbytes, stages, chunk)
+                <= pipelined_time(nbytes * 2, stages, chunk) + 1e-12)
+
+
+class TestNonceProperties:
+    @given(count=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_strictly_increasing(self, count):
+        from repro.crypto.nonce import NonceSequence
+        seq = NonceSequence(channel_id=5)
+        values = [seq.next() for _ in range(count)]
+        assert values == sorted(values)
+        assert len(set(values)) == count

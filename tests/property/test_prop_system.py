@@ -1,0 +1,113 @@
+"""Property-based tests over system-level invariants (MMU, end-to-end)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hw.mmu import AccessContext, AccessType, Mmu, PageFlags, PageTable
+from repro.hw.phys_mem import PAGE_SIZE
+from repro.core.multiuser import Segment, simulate_concurrent
+
+FLAGS = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
+
+
+class TestMmuProperties:
+    @given(mappings=st.dictionaries(
+        st.integers(0, 500), st.integers(0, 1000), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_is_consistent_with_page_table(self, mappings):
+        """For any mapping set, MMU translation == page-table walk."""
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        ctx = AccessContext(asid=1)
+        for vpn, ppn in mappings.items():
+            pt.map(vpn * PAGE_SIZE, ppn * PAGE_SIZE, FLAGS)
+        for vpn, ppn in mappings.items():
+            for offset in (0, 1, PAGE_SIZE - 1):
+                assert mmu.translate(pt, ctx, vpn * PAGE_SIZE + offset,
+                                     AccessType.READ) == (
+                    ppn * PAGE_SIZE + offset)
+
+    @given(mappings=st.dictionaries(
+        st.integers(0, 100), st.integers(0, 200), min_size=2, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_tlb_never_changes_results(self, mappings):
+        """Hot (TLB-hit) translations agree with cold ones."""
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        ctx = AccessContext(asid=1)
+        for vpn, ppn in mappings.items():
+            pt.map(vpn * PAGE_SIZE, ppn * PAGE_SIZE, FLAGS)
+        cold = {vpn: mmu.translate(pt, ctx, vpn * PAGE_SIZE, AccessType.READ)
+                for vpn in mappings}
+        hot = {vpn: mmu.translate(pt, ctx, vpn * PAGE_SIZE, AccessType.READ)
+               for vpn in mappings}
+        assert cold == hot
+
+
+class TestMultiuserProperties:
+    segments = st.lists(
+        st.builds(Segment,
+                  st.sampled_from(["host", "gpu"]),
+                  st.floats(min_value=0.0, max_value=2.0)),
+        max_size=12)
+
+    @given(users=st.lists(segments, min_size=1, max_size=4),
+           switch=st.floats(min_value=0.0, max_value=0.01))
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds(self, users, switch):
+        """Makespan is at least the longest user and at most the sum."""
+        makespan, timelines, _ = simulate_concurrent(users, switch)
+        per_user = [sum(s.duration for s in user) for user in users]
+        total_gpu = sum(s.duration for user in users for s in user
+                        if s.kind == "gpu")
+        switches_bound = sum(len(u) for u in users) * switch
+        assert makespan >= max(per_user) - 1e-9
+        assert makespan >= total_gpu - 1e-9
+        assert makespan <= sum(per_user) + switches_bound + 1e-9
+
+    @given(users=st.lists(segments, min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_gpu_busy_conserved(self, users):
+        _, timelines, _ = simulate_concurrent(users, 0.0)
+        for timeline, user in zip(timelines, users):
+            expected = sum(s.duration for s in user if s.kind == "gpu")
+            assert timeline.gpu_busy == pytest.approx(expected)
+
+
+class TestEndToEndDataIntegrity:
+    @given(payload=st.binary(min_size=1, max_size=30000))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_gdev_roundtrip_any_payload(self, payload, gdev_roundtrip_env):
+        app = gdev_roundtrip_env
+        buf = app.cuMemAlloc(len(payload))
+        app.cuMemcpyHtoD(buf, payload)
+        assert app.cuMemcpyDtoH(buf, len(payload)) == payload
+        app.cuMemFree(buf)
+
+    @given(payload=st.binary(min_size=1, max_size=30000))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_hix_roundtrip_any_payload(self, payload, hix_roundtrip_env):
+        app = hix_roundtrip_env
+        buf = app.cuMemAlloc(len(payload))
+        app.cuMemcpyHtoD(buf, payload)
+        assert app.cuMemcpyDtoH(buf, len(payload)) == payload
+        app.cuMemFree(buf)
+
+
+@pytest.fixture(scope="module")
+def gdev_roundtrip_env():
+    from repro.system import Machine, MachineConfig
+    machine = Machine(MachineConfig())
+    driver = machine.make_gdev()
+    return machine.gdev_session(driver).cuCtxCreate()
+
+
+@pytest.fixture(scope="module")
+def hix_roundtrip_env():
+    from repro.system import Machine, MachineConfig
+    machine = Machine(MachineConfig())
+    service = machine.boot_hix()
+    return machine.hix_session(service).cuCtxCreate()

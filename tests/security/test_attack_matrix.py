@@ -1,0 +1,37 @@
+"""The Section 5.5 attack-surface analysis, as executable assertions.
+
+Every attack must genuinely *succeed* against the Gdev baseline and be
+blocked or detected by HIX — both halves are asserted, so a regression
+that silently weakens the baseline model (making attacks "fail" for the
+wrong reason) is caught too.
+"""
+
+import pytest
+
+from repro.evalkit import security
+
+
+@pytest.mark.parametrize("attack", security.ATTACKS,
+                         ids=lambda fn: fn.__name__)
+def test_attack_succeeds_on_baseline_and_is_defended_by_hix(attack):
+    result = attack()
+    assert result.baseline.startswith(security.SUCCEEDS), (
+        f"{result.name}: expected the baseline to be vulnerable, got "
+        f"{result.baseline}")
+    assert not result.hix.startswith(security.SUCCEEDS), (
+        f"{result.name}: HIX failed to defend: {result.hix}")
+
+
+def test_matrix_covers_every_figure10_class():
+    ids = {attack().attack_id for attack in
+           [security.attack_snoop_transit, security.attack_kill_and_reclaim,
+            security.attack_map_mmio, security.attack_rewrite_routing,
+            security.attack_redirect_dma, security.attack_emulated_gpu]}
+    assert ids == {"(1)", "(2)", "(3)", "(4)", "(5)", "(6)"}
+
+
+def test_render_matrix_mentions_every_attack():
+    results = security.run_attack_matrix()
+    text = security.render_attack_matrix(results)
+    for result in results:
+        assert result.name in text

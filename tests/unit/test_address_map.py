@@ -1,0 +1,75 @@
+"""Unit tests for the system address map (DRAM vs MMIO routing)."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.hw.address_map import AddressMap
+
+
+def _make_backed_window():
+    store = bytearray(0x1000)
+
+    def read(offset, length):
+        return bytes(store[offset:offset + length])
+
+    def write(offset, data):
+        store[offset:offset + len(data)] = data
+
+    return store, read, write
+
+
+class TestAddressMap:
+    def test_routes_to_correct_window(self):
+        amap = AddressMap()
+        store_a, read_a, write_a = _make_backed_window()
+        store_b, read_b, write_b = _make_backed_window()
+        amap.add_window("a", 0x0000, 0x1000, read_a, write_a)
+        amap.add_window("b", 0x1000, 0x1000, read_b, write_b)
+        amap.write(0x1004, b"beta")
+        assert store_b[4:8] == b"beta"
+        assert store_a[4:8] == bytes(4)
+
+    def test_offsets_are_window_relative(self):
+        amap = AddressMap()
+        store, read, write = _make_backed_window()
+        amap.add_window("w", 0x8000, 0x1000, read, write)
+        amap.write(0x8010, b"xy")
+        assert store[0x10:0x12] == b"xy"
+
+    def test_unclaimed_access_raises(self):
+        amap = AddressMap()
+        with pytest.raises(BusError):
+            amap.read(0x42, 1)
+
+    def test_access_spanning_past_window_raises(self):
+        amap = AddressMap()
+        _, read, write = _make_backed_window()
+        amap.add_window("w", 0, 0x1000, read, write)
+        with pytest.raises(BusError):
+            amap.read(0x0FFE, 8)
+
+    def test_overlapping_windows_rejected(self):
+        amap = AddressMap()
+        _, read, write = _make_backed_window()
+        amap.add_window("w", 0, 0x1000, read, write)
+        with pytest.raises(ValueError):
+            amap.add_window("clash", 0x800, 0x1000, read, write)
+
+    def test_adjacent_windows_allowed(self):
+        amap = AddressMap()
+        _, read, write = _make_backed_window()
+        amap.add_window("lo", 0, 0x1000, read, write)
+        amap.add_window("hi", 0x1000, 0x1000, read, write)
+        assert len(amap.windows) == 2
+
+    def test_zero_size_window_rejected(self):
+        amap = AddressMap()
+        _, read, write = _make_backed_window()
+        with pytest.raises(ValueError):
+            amap.add_window("w", 0, 0, read, write)
+
+    def test_find_returns_containing_window(self):
+        amap = AddressMap()
+        _, read, write = _make_backed_window()
+        amap.add_window("w", 0x2000, 0x1000, read, write)
+        assert amap.find(0x2800).name == "w"

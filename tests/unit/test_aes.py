@@ -1,0 +1,46 @@
+"""Unit tests for the AES-128 block cipher (FIPS-197 vectors)."""
+
+import pytest
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+
+
+class TestAes128:
+    def test_fips197_appendix_c_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_b_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_decrypt_inverts_encrypt(self):
+        cipher = AES128(b"0123456789abcdef")
+        block = b"fedcba9876543210"
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = bytes(16)
+        a = AES128(b"A" * 16).encrypt_block(block)
+        b = AES128(b"B" * 16).encrypt_block(block)
+        assert a != b
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_wrong_block_length_rejected(self):
+        cipher = AES128(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"tiny")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"x" * 17)
+
+    def test_deterministic(self):
+        cipher = AES128(bytes(16))
+        block = b"\xAB" * BLOCK_SIZE
+        assert cipher.encrypt_block(block) == cipher.encrypt_block(block)

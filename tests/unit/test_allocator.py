@@ -1,0 +1,81 @@
+"""Unit tests for the VRAM allocator."""
+
+import pytest
+
+from repro.errors import InvalidDevicePointer, OutOfDeviceMemory
+from repro.gdev.allocator import VramAllocator
+
+CAP = 1 << 20  # 1 MiB
+
+
+class TestVramAllocator:
+    def test_alloc_returns_disjoint_blocks(self):
+        allocator = VramAllocator(CAP)
+        a = allocator.alloc(8192)
+        b = allocator.alloc(8192)
+        assert abs(a - b) >= 8192
+
+    def test_granule_rounding(self):
+        allocator = VramAllocator(CAP)
+        allocator.alloc(1)
+        assert allocator.bytes_in_use == 4096
+
+    def test_exhaustion(self):
+        allocator = VramAllocator(CAP)
+        allocator.alloc(CAP - 8192)
+        with pytest.raises(OutOfDeviceMemory):
+            allocator.alloc(8192)
+
+    def test_free_and_reuse(self):
+        allocator = VramAllocator(CAP)
+        base = allocator.alloc(8192)
+        allocator.free(base)
+        assert allocator.alloc(8192) == base
+
+    def test_free_returns_extent(self):
+        allocator = VramAllocator(CAP)
+        base = allocator.alloc(5000)
+        assert allocator.free(base) == (base, 8192)
+
+    def test_double_free_rejected(self):
+        allocator = VramAllocator(CAP)
+        base = allocator.alloc(4096)
+        allocator.free(base)
+        with pytest.raises(InvalidDevicePointer):
+            allocator.free(base)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(InvalidDevicePointer):
+            VramAllocator(CAP).free(0x4000)
+
+    def test_coalescing_allows_large_realloc(self):
+        allocator = VramAllocator(CAP)
+        blocks = [allocator.alloc(CAP // 8) for _ in range(7)]
+        for block in blocks:
+            allocator.free(block)
+        # After coalescing, a single allocation of almost everything fits.
+        allocator.alloc(CAP - 2 * 4096)
+
+    def test_accounting(self):
+        allocator = VramAllocator(CAP)
+        free_before = allocator.bytes_free
+        base = allocator.alloc(16384)
+        assert allocator.bytes_in_use == 16384
+        assert allocator.bytes_free == free_before - 16384
+        allocator.free(base)
+        assert allocator.bytes_in_use == 0
+
+    def test_size_of(self):
+        allocator = VramAllocator(CAP)
+        base = allocator.alloc(10000)
+        assert allocator.size_of(base) == 12288
+        with pytest.raises(InvalidDevicePointer):
+            allocator.size_of(base + 1)
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            VramAllocator(CAP).alloc(0)
+
+    def test_low_reserve_respected(self):
+        allocator = VramAllocator(CAP, reserve_low=8192)
+        assert allocator.alloc(4096) >= 8192

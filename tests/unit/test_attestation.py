@@ -1,0 +1,145 @@
+"""Unit tests for local and remote attestation."""
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.hw.phys_mem import PAGE_SIZE
+from repro.sgx.attestation import (
+    QuotingService,
+    RemoteVerifier,
+    verify_local_report,
+)
+from repro.sgx.epc import Epc
+from repro.sgx.instructions import SgxUnit
+
+ELBASE = 0x7000_0000
+
+
+@pytest.fixture
+def sgx():
+    return SgxUnit(Epc(0x1000_0000, 128 * PAGE_SIZE))
+
+
+def _enclave(sgx, code=b"enclave code"):
+    secs = sgx.ecreate(ELBASE + len(code) * PAGE_SIZE, 8 * PAGE_SIZE)
+    base = secs.base
+    paddr = sgx.eadd(secs.enclave_id, base)
+    sgx.eextend(secs.enclave_id, base, code)
+    sgx.einit(secs.enclave_id)
+    return secs
+
+
+class TestLocalAttestation:
+    def test_report_verifies_for_target(self, sgx):
+        prover = _enclave(sgx, b"prover")
+        verifier = _enclave(sgx, b"verifier")
+        report = sgx.ereport(prover.enclave_id,
+                             verifier.measurement.value, b"data")
+        verify_local_report(sgx, verifier.enclave_id, report)
+
+    def test_report_fails_for_wrong_target(self, sgx):
+        prover = _enclave(sgx, b"prover")
+        verifier = _enclave(sgx, b"verifier")
+        bystander = _enclave(sgx, b"bystander")
+        report = sgx.ereport(prover.enclave_id,
+                             verifier.measurement.value, b"data")
+        with pytest.raises(AttestationError):
+            verify_local_report(sgx, bystander.enclave_id, report)
+
+    def test_forged_measurement_detected(self, sgx):
+        prover = _enclave(sgx, b"prover")
+        verifier = _enclave(sgx, b"verifier")
+        report = sgx.ereport(prover.enclave_id,
+                             verifier.measurement.value, b"data")
+        forged = type(report)(
+            measurement=b"\x00" * 32,
+            enclave_id=report.enclave_id,
+            report_data=report.report_data,
+            is_gpu_enclave=report.is_gpu_enclave,
+            routing_measurement=report.routing_measurement,
+            mac=report.mac)
+        with pytest.raises(AttestationError):
+            verify_local_report(sgx, verifier.enclave_id, forged)
+
+    def test_tampered_report_data_detected(self, sgx):
+        prover = _enclave(sgx, b"prover")
+        verifier = _enclave(sgx, b"verifier")
+        report = sgx.ereport(prover.enclave_id,
+                             verifier.measurement.value, b"data")
+        forged = type(report)(
+            measurement=report.measurement,
+            enclave_id=report.enclave_id,
+            report_data=b"evil",
+            is_gpu_enclave=report.is_gpu_enclave,
+            routing_measurement=report.routing_measurement,
+            mac=report.mac)
+        with pytest.raises(AttestationError):
+            verify_local_report(sgx, verifier.enclave_id, forged)
+
+    def test_cross_platform_report_rejected(self, sgx):
+        """A report from a different CPU (platform key) must not verify."""
+        other_sgx = SgxUnit(Epc(0x1000_0000, 128 * PAGE_SIZE),
+                            platform_seed=b"other-machine")
+        prover = _enclave(other_sgx, b"prover")
+        verifier = _enclave(sgx, b"verifier")
+        report = other_sgx.ereport(prover.enclave_id,
+                                   verifier.measurement.value, b"data")
+        with pytest.raises(AttestationError):
+            verify_local_report(sgx, verifier.enclave_id, report)
+
+    def test_plain_enclave_not_marked_gpu_enclave(self, sgx):
+        prover = _enclave(sgx, b"prover")
+        verifier = _enclave(sgx, b"verifier")
+        report = sgx.ereport(prover.enclave_id,
+                             verifier.measurement.value, b"")
+        assert not report.is_gpu_enclave
+        assert report.routing_measurement == b""
+
+
+class TestRemoteAttestation:
+    def test_quote_verifies(self, sgx):
+        prover = _enclave(sgx, b"gpu enclave driver")
+        verifier = _enclave(sgx, b"verifier")
+        report = sgx.ereport(prover.enclave_id,
+                             verifier.measurement.value, b"")
+        service = QuotingService()
+        quote = service.quote(report)
+        remote = RemoteVerifier(service.verification_key(),
+                                prover.measurement.value)
+        remote.verify(quote)
+
+    def test_wrong_identity_rejected(self, sgx):
+        prover = _enclave(sgx, b"impostor driver")
+        verifier = _enclave(sgx, b"verifier")
+        report = sgx.ereport(prover.enclave_id,
+                             verifier.measurement.value, b"")
+        service = QuotingService()
+        remote = RemoteVerifier(service.verification_key(), b"\x11" * 32)
+        with pytest.raises(AttestationError):
+            remote.verify(service.quote(report))
+
+    def test_forged_signature_rejected(self, sgx):
+        prover = _enclave(sgx, b"driver")
+        verifier = _enclave(sgx, b"verifier")
+        report = sgx.ereport(prover.enclave_id,
+                             verifier.measurement.value, b"")
+        service = QuotingService()
+        quote = service.quote(report)
+        forged = type(quote)(report=quote.report, platform_id=quote.platform_id,
+                             signature=b"\x00" * 32)
+        remote = RemoteVerifier(service.verification_key(),
+                                prover.measurement.value)
+        with pytest.raises(AttestationError):
+            remote.verify(forged)
+
+    def test_routing_measurement_checked_when_expected(self, sgx):
+        prover = _enclave(sgx, b"driver")
+        verifier = _enclave(sgx, b"verifier")
+        report = sgx.ereport(prover.enclave_id,
+                             verifier.measurement.value, b"")
+        service = QuotingService()
+        remote = RemoteVerifier(service.verification_key(),
+                                prover.measurement.value,
+                                expected_routing=b"\x42" * 32)
+        with pytest.raises(AttestationError):
+            remote.verify(service.quote(report))

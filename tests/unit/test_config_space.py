@@ -1,0 +1,131 @@
+"""Unit tests for PCIe configuration space, BARs, bridge windows."""
+
+import pytest
+
+from repro.pcie.config_space import (
+    Bar,
+    CLASS_DISPLAY_VGA,
+    REG_BUS_NUMBERS,
+    REG_COMMAND_STATUS,
+    REG_EXPANSION_ROM,
+    REG_MEMORY_WINDOW,
+    REG_VENDOR_DEVICE,
+    Type0Config,
+    Type1Config,
+)
+
+
+class TestBar:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            Bar(index=0, size=3000)
+
+    def test_contains(self):
+        bar = Bar(index=0, size=0x1000, address=0x10000)
+        assert bar.contains(0x10000)
+        assert bar.contains(0x10FFF)
+        assert not bar.contains(0x11000)
+        assert not bar.contains(0x10FFE, 4)
+
+    def test_unprogrammed_bar_claims_nothing(self):
+        bar = Bar(index=0, size=0x1000, address=0)
+        assert not bar.contains(0)
+
+    def test_read_value_carries_flags(self):
+        bar = Bar(index=0, size=0x1000, address=0x10000,
+                  is_64bit=True, prefetchable=True)
+        assert bar.read_value() & 0xF == 0xC
+
+    def test_sizing_inquiry_protocol(self):
+        """All-1s write latches size mask; next write restores address."""
+        bar = Bar(index=0, size=0x10000, address=0xABC0000)
+        bar.write_value(0xFFFFFFF0)
+        assert bar.is_sizing_write
+        assert bar.read_value() & ~0xF == (~(0x10000 - 1)) & ((1 << 64) - 1) & ~0xF
+        bar.write_value(0xABC0000)
+        assert bar.address == 0xABC0000
+        assert not bar.is_sizing_write
+
+
+class TestType0Config:
+    def test_vendor_device_register(self):
+        config = Type0Config(0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        assert config.read(REG_VENDOR_DEVICE) == (0x1080 << 16) | 0x10DE
+
+    def test_class_code_register(self):
+        config = Type0Config(0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        assert config.read(0x08) >> 8 == CLASS_DISPLAY_VGA
+
+    def test_command_register_write(self):
+        config = Type0Config(0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        config.write(REG_COMMAND_STATUS, 0x6)
+        assert config.read(REG_COMMAND_STATUS) == 0x6
+
+    def test_bar_via_register_interface(self):
+        config = Type0Config(0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        config.add_bar(Bar(index=0, size=0x1000))
+        config.write(config.bar_offset(0), 0xCAFE0000)
+        assert config.bars[0].address == 0xCAFE0000
+
+    def test_expansion_rom_register(self):
+        config = Type0Config(0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        # Bits 10:0 (enable + reserved) are masked; 2 KiB granularity.
+        config.write(REG_EXPANSION_ROM, 0xD00003FF)
+        assert config.read(REG_EXPANSION_ROM) == 0xD0000000
+
+    def test_duplicate_bar_rejected(self):
+        config = Type0Config(0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        config.add_bar(Bar(index=0, size=0x1000))
+        with pytest.raises(ValueError):
+            config.add_bar(Bar(index=0, size=0x2000))
+
+    def test_routing_registers_include_bars_and_rom(self):
+        config = Type0Config(0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        config.add_bar(Bar(index=0, size=0x1000))
+        config.add_bar(Bar(index=1, size=0x2000))
+        offsets = config.routing_register_offsets()
+        assert config.bar_offset(0) in offsets
+        assert config.bar_offset(1) in offsets
+        assert REG_EXPANSION_ROM in offsets
+
+    def test_is_sizing_inquiry_detection(self):
+        config = Type0Config(0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        config.add_bar(Bar(index=0, size=0x1000))
+        assert config.is_sizing_inquiry(config.bar_offset(0), 0xFFFFFFFF)
+        assert not config.is_sizing_inquiry(config.bar_offset(0), 0x1000)
+        assert not config.is_sizing_inquiry(REG_COMMAND_STATUS, 0xFFFFFFFF)
+
+
+class TestType1Config:
+    def test_bus_number_register(self):
+        config = Type1Config(0x8086, 0x3420)
+        config.write(REG_BUS_NUMBERS, (3 << 16) | (1 << 8) | 0)
+        assert config.primary_bus == 0
+        assert config.secondary_bus == 1
+        assert config.subordinate_bus == 3
+
+    def test_memory_window_register_roundtrip(self):
+        config = Type1Config(0x8086, 0x3420)
+        config.set_window(0x1000_0000, 0x2000_0000)
+        packed = config.read(REG_MEMORY_WINDOW)
+        fresh = Type1Config(0x8086, 0x3420)
+        fresh.write(REG_MEMORY_WINDOW, packed)
+        assert fresh.memory_base == 0x1000_0000
+        assert fresh.memory_limit == 0x2000_0000
+
+    def test_window_contains(self):
+        config = Type1Config(0x8086, 0x3420)
+        config.set_window(0x1000, 0x2000)
+        assert config.window_contains(0x1800)
+        assert not config.window_contains(0x2000)
+        assert not config.window_contains(0x1FFF, 4)
+
+    def test_empty_window_contains_nothing(self):
+        config = Type1Config(0x8086, 0x3420)
+        assert not config.window_contains(0)
+
+    def test_routing_registers_include_windows(self):
+        config = Type1Config(0x8086, 0x3420)
+        offsets = config.routing_register_offsets()
+        assert REG_BUS_NUMBERS in offsets
+        assert REG_MEMORY_WINDOW in offsets

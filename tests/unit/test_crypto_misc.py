@@ -1,0 +1,223 @@
+"""Unit tests for suites, DH, nonces, KDF, and sealed-blob framing."""
+
+import pytest
+
+from repro.crypto.blob import (
+    HEADER_LEN,
+    open_blob,
+    parse_blob,
+    seal_blob,
+    sealed_size,
+)
+from repro.crypto.dh import DiffieHellman, derive_key, three_party_key
+from repro.crypto.kdf import derive_channel_keys, hkdf_sha256, hmac_sha256
+from repro.crypto.nonce import NonceSequence, ReplayGuard
+from repro.crypto.suite import FastAuthSuite, OcbAesSuite, make_suite
+from repro.errors import IntegrityError, ReplayError
+
+KEY = bytes(range(16))
+
+
+class TestSuites:
+    @pytest.mark.parametrize("suite_name", ["ocb-aes-128", "fast-auth"])
+    def test_roundtrip(self, suite_name):
+        suite = make_suite(suite_name, KEY)
+        ciphertext, tag = suite.seal(b"\x01" * 12, b"secret data", b"aad")
+        assert suite.open(b"\x01" * 12, ciphertext, tag, b"aad") == b"secret data"
+
+    @pytest.mark.parametrize("suite_name", ["ocb-aes-128", "fast-auth"])
+    def test_tamper_detected(self, suite_name):
+        suite = make_suite(suite_name, KEY)
+        ciphertext, tag = suite.seal(b"\x01" * 12, b"secret data")
+        bad = bytes([ciphertext[0] ^ 0xFF]) + ciphertext[1:]
+        with pytest.raises(IntegrityError):
+            suite.open(b"\x01" * 12, bad, tag)
+
+    @pytest.mark.parametrize("suite_name", ["ocb-aes-128", "fast-auth"])
+    def test_aad_binding(self, suite_name):
+        suite = make_suite(suite_name, KEY)
+        ciphertext, tag = suite.seal(b"\x01" * 12, b"data", b"ctx-A")
+        with pytest.raises(IntegrityError):
+            suite.open(b"\x01" * 12, ciphertext, tag, b"ctx-B")
+
+    def test_ciphertext_hides_plaintext(self):
+        for suite in (OcbAesSuite(KEY), FastAuthSuite(KEY)):
+            plaintext = b"PATTERN" * 8
+            ciphertext, _ = suite.seal(b"\x02" * 12, plaintext)
+            assert plaintext not in ciphertext
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            make_suite("rot13", KEY)
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            FastAuthSuite(b"short")
+
+    def test_different_nonces_different_ciphertext(self):
+        suite = FastAuthSuite(KEY)
+        c1, _ = suite.seal(b"\x01" * 12, b"same")
+        c2, _ = suite.seal(b"\x02" * 12, b"same")
+        assert c1 != c2
+
+
+class TestDiffieHellman:
+    def test_two_party_agreement(self):
+        alice, bob = DiffieHellman(seed=b"a"), DiffieHellman(seed=b"b")
+        assert (alice.shared_secret(bob.public_value)
+                == bob.shared_secret(alice.public_value))
+
+    def test_three_party_agreement(self):
+        """The user / GPU-enclave / GPU pattern of Section 4.4.1."""
+        user = DiffieHellman(seed=b"user")
+        enclave = DiffieHellman(seed=b"enclave")
+        gpu = DiffieHellman(seed=b"gpu")
+        # Protocol from repro.core.key_exchange's module docstring.
+        a = user.public_value
+        b = enclave.raise_value(a)
+        gpu_key = derive_key(gpu.raise_value(b))
+        c = gpu.public_value
+        d = gpu.raise_value(a)
+        enclave_key = derive_key(enclave.raise_value(d))
+        e = enclave.raise_value(c)
+        user_key = derive_key(user.raise_value(e))
+        assert gpu_key == enclave_key == user_key
+
+    def test_deterministic_with_seed(self):
+        assert (DiffieHellman(seed=b"x").public_value
+                == DiffieHellman(seed=b"x").public_value)
+
+    def test_random_without_seed(self):
+        assert DiffieHellman().public_value != DiffieHellman().public_value
+
+    def test_degenerate_public_value_rejected(self):
+        party = DiffieHellman(seed=b"x")
+        with pytest.raises(ValueError):
+            party.shared_secret(1)
+        with pytest.raises(ValueError):
+            party.raise_value(0)
+
+
+def test_three_party_key_matches_manual_chain():
+    a = DiffieHellman(seed=b"1")
+    b = DiffieHellman(seed=b"2")
+    c = DiffieHellman(seed=b"3")
+    manual = derive_key(c.raise_value(b.raise_value(a.public_value)), 32)
+    assert three_party_key(a, b, c) == manual
+
+
+class TestNonces:
+    def test_sequence_increments(self):
+        seq = NonceSequence(channel_id=3)
+        first, second = seq.next(), seq.next()
+        assert first != second
+        assert int.from_bytes(second[4:], "big") == 2
+
+    def test_peek_does_not_consume(self):
+        seq = NonceSequence()
+        assert seq.peek() == seq.next()
+
+    def test_guard_accepts_increasing(self):
+        seq, guard = NonceSequence(channel_id=1), ReplayGuard(channel_id=1)
+        for _ in range(5):
+            guard.check(seq.next())
+
+    def test_guard_rejects_replay(self):
+        seq, guard = NonceSequence(channel_id=1), ReplayGuard(channel_id=1)
+        nonce = seq.next()
+        guard.check(nonce)
+        with pytest.raises(ReplayError):
+            guard.check(nonce)
+
+    def test_guard_rejects_rollback(self):
+        seq, guard = NonceSequence(channel_id=1), ReplayGuard(channel_id=1)
+        old = seq.next()
+        guard.check(seq.next())
+        with pytest.raises(ReplayError):
+            guard.check(old)
+
+    def test_guard_rejects_cross_channel(self):
+        guard = ReplayGuard(channel_id=1)
+        with pytest.raises(ReplayError):
+            guard.check(NonceSequence(channel_id=2).next())
+
+    def test_guard_rejects_malformed(self):
+        with pytest.raises(ReplayError):
+            ReplayGuard().check(b"short")
+
+    def test_channel_id_bounds(self):
+        with pytest.raises(ValueError):
+            NonceSequence(channel_id=1 << 32)
+
+
+class TestKdf:
+    def test_hkdf_deterministic(self):
+        assert hkdf_sha256(b"ikm", info=b"x") == hkdf_sha256(b"ikm", info=b"x")
+
+    def test_hkdf_info_separates(self):
+        assert hkdf_sha256(b"ikm", info=b"a") != hkdf_sha256(b"ikm", info=b"b")
+
+    def test_hkdf_length(self):
+        assert len(hkdf_sha256(b"ikm", length=100)) == 100
+
+    def test_hkdf_length_bounds(self):
+        with pytest.raises(ValueError):
+            hkdf_sha256(b"ikm", length=0)
+
+    def test_channel_keys_distinct(self):
+        keys = derive_channel_keys(bytes(16))
+        assert set(keys) == {"request", "reply", "bulk"}
+        assert len({v for v in keys.values()}) == 3
+
+    def test_hmac_known_answer(self):
+        # RFC 4231 test case 2.
+        digest = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert digest.hex().startswith("5bdcc146bf60754e6a042426089575c7")
+
+
+class TestSealedBlob:
+    def _suite_and_seq(self):
+        return FastAuthSuite(KEY), NonceSequence(channel_id=1)
+
+    def test_roundtrip(self):
+        suite, seq = self._suite_and_seq()
+        blob = seal_blob(suite, seq, b"payload", b"aad")
+        assert open_blob(suite, blob, b"aad") == b"payload"
+
+    def test_sealed_size(self):
+        suite, seq = self._suite_and_seq()
+        blob = seal_blob(suite, seq, b"x" * 100)
+        assert len(blob) == sealed_size(100) == HEADER_LEN + 100
+
+    def test_parse_blob_fields(self):
+        suite, seq = self._suite_and_seq()
+        blob = seal_blob(suite, seq, b"abc")
+        nonce, tag, ciphertext = parse_blob(blob)
+        assert len(nonce) == 12 and len(tag) == 16 and len(ciphertext) == 3
+
+    def test_trailing_garbage_tolerated(self):
+        """Blobs read from fixed-size regions carry trailing bytes."""
+        suite, seq = self._suite_and_seq()
+        blob = seal_blob(suite, seq, b"abc")
+        assert open_blob(suite, blob + bytes(64)) == b"abc"
+
+    def test_truncated_blob_rejected(self):
+        suite, seq = self._suite_and_seq()
+        blob = seal_blob(suite, seq, b"abcdef")
+        with pytest.raises(IntegrityError):
+            open_blob(suite, blob[:HEADER_LEN + 2])
+
+    def test_bad_magic_rejected(self):
+        suite, seq = self._suite_and_seq()
+        blob = bytearray(seal_blob(suite, seq, b"abc"))
+        blob[0] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            open_blob(suite, bytes(blob))
+
+    def test_replay_guard_integration(self):
+        suite, seq = self._suite_and_seq()
+        guard = ReplayGuard(channel_id=1)
+        blob = seal_blob(suite, seq, b"abc")
+        assert open_blob(suite, blob, replay_guard=guard) == b"abc"
+        with pytest.raises(ReplayError):
+            open_blob(suite, blob, replay_guard=guard)

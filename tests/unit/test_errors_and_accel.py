@@ -1,0 +1,101 @@
+"""Unit tests: exception hierarchy, accelerator device, driver stub."""
+
+import pytest
+
+from repro import errors
+from repro.gpu.accelerator import (
+    DEVICE_TENSOR_ACCEL,
+    SimAccelerator,
+    VENDOR_ACCEL,
+)
+from repro.gpu.bios import bios_hash
+from repro.pcie.config_space import CLASS_PROCESSING_ACCEL
+from repro.pcie.device import Bdf
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_security_denials_are_access_denied(self):
+        assert issubclass(errors.TlbValidationError, errors.AccessDenied)
+
+    def test_crypto_failures_grouped(self):
+        for cls in (errors.IntegrityError, errors.ReplayError,
+                    errors.AttestationError):
+            assert issubclass(cls, errors.CryptoError)
+
+    def test_hix_faults_are_sgx_errors(self):
+        for cls in (errors.GpuAlreadyOwned, errors.NotAGpu,
+                    errors.TgmrRegistrationError):
+            assert issubclass(cls, errors.HixError)
+            assert issubclass(cls, errors.SgxError)
+
+    def test_driver_errors_grouped(self):
+        for cls in (errors.OutOfDeviceMemory, errors.InvalidDevicePointer,
+                    errors.KernelNotFound, errors.GpuUnavailable,
+                    errors.ProtocolError):
+            assert issubclass(cls, errors.DriverError)
+
+    def test_catching_at_the_root(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ConfigWriteRejected("x")
+
+
+class TestSimAccelerator:
+    def test_identity_defaults(self):
+        accel = SimAccelerator(Bdf(2, 0, 0), 16 << 20)
+        assert accel.config.vendor_id == VENDOR_ACCEL
+        assert accel.config.device_id == DEVICE_TENSOR_ACCEL
+        assert accel.config.class_code == CLASS_PROCESSING_ACCEL
+        assert accel.is_physical
+
+    def test_firmware_differs_from_gpu(self):
+        from repro.gpu.device import SimGpu
+        accel = SimAccelerator(Bdf(2, 0, 0), 16 << 20)
+        gpu = SimGpu(Bdf(1, 0, 0), 16 << 20)
+        assert bios_hash(accel.bios_image) != bios_hash(gpu.bios_image)
+
+    def test_id_register_reports_accelerator(self):
+        from repro.gpu import regs
+        accel = SimAccelerator(Bdf(2, 0, 0), 16 << 20)
+        value = int.from_bytes(accel.bar_read(0, regs.REG_ID, 4), "little")
+        assert value == (VENDOR_ACCEL << 16) | DEVICE_TENSOR_ACCEL
+
+    def test_overridable_identity(self):
+        accel = SimAccelerator(Bdf(2, 0, 0), 16 << 20, device_id=0x99)
+        assert accel.config.device_id == 0x99
+
+
+class TestDriverStub:
+    def test_discover_regions(self):
+        from repro.osmodel.driver_stub import discover_gpu_regions
+        from repro.system import Machine, MachineConfig
+        machine = Machine(MachineConfig())
+        regions = discover_gpu_regions(machine.root_complex, machine.gpu.bdf)
+        assert set(regions) == {"bar0", "bar1", "rom"}
+        from repro.gpu import regs
+        assert regions["bar0"][1] == regs.BAR0_SIZE
+        assert regions["rom"][1] == regs.ROM_SIZE
+
+    def test_discover_absent_device(self):
+        from repro.osmodel.driver_stub import discover_gpu_regions
+        from repro.system import Machine, MachineConfig
+        machine = Machine(MachineConfig())
+        with pytest.raises(ValueError):
+            discover_gpu_regions(machine.root_complex, Bdf(7, 0, 0))
+
+    def test_map_gpu_mmio_round_trips_through_mmu(self):
+        from repro.osmodel.driver_stub import map_gpu_mmio
+        from repro.system import Machine, MachineConfig
+        machine = Machine(MachineConfig())
+        process = machine.kernel.create_process("drv")
+        mapped = map_gpu_mmio(machine.kernel, machine.root_complex,
+                              machine.gpu.bdf, process)
+        from repro.gpu import regs
+        raw = machine.kernel.cpu_read(process,
+                                      mapped["bar0"].vaddr + regs.REG_ID, 4)
+        assert int.from_bytes(raw, "little") != 0

@@ -1,0 +1,120 @@
+"""Unit tests for Gdev driver internals (channel, staging, param reuse)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DriverError
+from repro.gpu import regs
+from repro.gpu.module import CubinImage, DevPtr
+from repro.system import Machine, MachineConfig
+
+
+@pytest.fixture
+def env():
+    machine = Machine(MachineConfig())
+    driver = machine.make_gdev()
+    return machine, driver
+
+
+class TestMmioChannel:
+    def test_reg_read_write(self, env):
+        machine, driver = env
+        driver.channel.reg_write(regs.REG_APERTURE_BASE, 8192, 8)
+        assert machine.gpu._aperture_base == 8192  # noqa: SLF001
+
+    def test_rom_read_via_channel(self, env):
+        _, driver = env
+        assert driver.channel.read_expansion_rom(2) == b"\x55\xAA"
+
+    def test_oversized_batch_rejected(self, env):
+        _, driver = env
+        with pytest.raises(DriverError):
+            driver.channel.submit([b"\x00" * (regs.FIFO_SIZE + 1)])
+
+    def test_fault_surfaces_as_driver_error(self, env):
+        machine, driver = env
+        from repro.gpu.commands import CommandOpcode, encode_command
+        with pytest.raises(DriverError, match="GPU fault"):
+            driver.channel.submit([encode_command(
+                CommandOpcode.MAP, 4242, (0, 0, 4096))])
+        assert not machine.gpu.faulted  # fault consumed by the driver
+
+    def test_aperture_rw_roundtrip(self, env):
+        _, driver = env
+        driver.channel.aperture_write(0x4000, b"through-the-window")
+        assert driver.channel.aperture_read(0x4000, 18) == b"through-the-window"
+
+    def test_vram_size_discovered_via_registers(self, env):
+        machine, driver = env
+        assert driver.vram.capacity == machine.config.vram_size_actual
+
+
+class TestDriverResources:
+    def test_param_buffer_reused_across_launches(self, env):
+        machine, driver = env
+        process = machine.kernel.create_process("app")
+        handle = driver.create_context(process)
+        module = driver.load_module(handle, CubinImage(["builtin.memset32"]))
+        buf = driver.malloc(handle, 4096)
+        in_use_before = None
+        for i in range(5):
+            driver.launch(handle, module, "builtin.memset32",
+                          [DevPtr(buf), 16, i])
+            if in_use_before is None:
+                in_use_before = driver.vram.bytes_in_use
+        # No allocation growth across repeated launches.
+        assert driver.vram.bytes_in_use == in_use_before
+        assert handle.param_va != 0
+
+    def test_large_param_blob_uses_transient_buffer(self, env):
+        from repro.gpu.kernels import global_registry
+        registry = global_registry()
+        if "test.noop" not in registry:
+            registry.register("test.noop", lambda dev, ctx, params: None)
+        machine, driver = env
+        process = machine.kernel.create_process("app")
+        handle = driver.create_context(process)
+        module = driver.load_module(handle, CubinImage(["test.noop"]))
+        params = [0] * 600  # > 4 KiB packed: forces the transient path
+        before = driver.vram.bytes_in_use
+        driver.launch(handle, module, "test.noop", params)
+        assert driver.vram.bytes_in_use == before  # transient freed
+
+    def test_vram_pa_of(self, env):
+        machine, driver = env
+        process = machine.kernel.create_process("app")
+        handle = driver.create_context(process)
+        gpu_va = driver.malloc(handle, 8192)
+        pa = driver.vram_pa_of(handle, gpu_va)
+        driver.memcpy_h2d_mmio(handle, gpu_va, b"direct")
+        assert machine.gpu.vram.read(pa, 6) == b"direct"
+
+    def test_vram_pa_of_unknown_pointer(self, env):
+        machine, driver = env
+        process = machine.kernel.create_process("app")
+        handle = driver.create_context(process)
+        with pytest.raises(DriverError):
+            driver.vram_pa_of(handle, 0xDEAD000)
+
+    def test_staging_chunking_multiple_doorbells(self, env):
+        machine, driver = env
+        process = machine.kernel.create_process("app")
+        handle = driver.create_context(process)
+        size = 20 << 20  # > 16 MiB staging buffer
+        gpu_va = driver.malloc(handle, size)
+        data = np.arange(size // 4, dtype=np.int32).tobytes()
+        retired_before = machine.gpu._retired  # noqa: SLF001
+        driver.memcpy_h2d(handle, gpu_va, data)
+        # At least two MEMCPY_H2D commands were needed.
+        assert machine.gpu._retired >= retired_before + 2  # noqa: SLF001
+        assert driver.memcpy_d2h(handle, gpu_va, size) == data
+
+    def test_destroy_context_releases_everything(self, env):
+        machine, driver = env
+        process = machine.kernel.create_process("app")
+        handle = driver.create_context(process)
+        driver.load_module(handle, CubinImage(["builtin.memset32"]))
+        driver.malloc(handle, 1 << 20)
+        driver.destroy_context(handle)
+        assert driver.vram.bytes_in_use == 0
+        assert handle.ctx_id not in machine.gpu.contexts

@@ -1,0 +1,107 @@
+"""Unit tests for GPU command encoding, cubins, and param marshalling."""
+
+import pytest
+
+from repro.errors import KernelNotFound, ProtocolError
+from repro.gpu.commands import CommandOpcode, decode_commands, encode_command
+from repro.gpu.module import (
+    CubinImage,
+    DevPtr,
+    pack_params,
+    unpack_params,
+)
+
+
+class TestCommandEncoding:
+    def test_roundtrip_args(self):
+        raw = encode_command(CommandOpcode.MAP, 3, (0x1000, 0x2000, 4096))
+        (command,) = decode_commands(raw)
+        assert command.opcode is CommandOpcode.MAP
+        assert command.ctx_id == 3
+        assert command.args == (0x1000, 0x2000, 4096)
+        assert command.blob == b""
+
+    def test_roundtrip_blob(self):
+        raw = encode_command(CommandOpcode.KEY_EXCHANGE, 1, (), b"\xAB" * 512)
+        (command,) = decode_commands(raw)
+        assert command.blob == b"\xAB" * 512
+
+    def test_batch_of_commands(self):
+        raw = (encode_command(CommandOpcode.CTX_CREATE, 1)
+               + encode_command(CommandOpcode.MAP, 1, (1, 2, 3))
+               + encode_command(CommandOpcode.FENCE, 1, (9,)))
+        commands = decode_commands(raw)
+        assert [c.opcode for c in commands] == [
+            CommandOpcode.CTX_CREATE, CommandOpcode.MAP, CommandOpcode.FENCE]
+
+    def test_truncated_header_rejected(self):
+        raw = encode_command(CommandOpcode.FENCE, 1, (9,))
+        with pytest.raises(ProtocolError):
+            decode_commands(raw[:-10])
+
+    def test_unknown_opcode_rejected(self):
+        raw = bytearray(encode_command(CommandOpcode.FENCE, 1, (9,)))
+        raw[0] = 0xEE
+        with pytest.raises(ProtocolError):
+            decode_commands(bytes(raw))
+
+    def test_empty_batch(self):
+        assert decode_commands(b"") == []
+
+
+class TestCubin:
+    def test_roundtrip(self):
+        image = CubinImage(["builtin.matrix_add", "hix.aead_decrypt"])
+        parsed = CubinImage.from_bytes(image.to_bytes())
+        assert parsed.kernel_names == image.kernel_names
+
+    def test_kernel_at(self):
+        image = CubinImage(["a", "b"])
+        assert image.kernel_at(1) == "b"
+        with pytest.raises(KernelNotFound):
+            image.kernel_at(2)
+
+    def test_index_of(self):
+        image = CubinImage(["a", "b"])
+        assert image.index_of("b") == 1
+        with pytest.raises(KernelNotFound):
+            image.index_of("zzz")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ProtocolError):
+            CubinImage.from_bytes(b"EVIL" + bytes(64))
+
+    def test_corrupted_entry_detected(self):
+        """Patching kernel names in device memory breaks integrity."""
+        raw = bytearray(CubinImage(["builtin.matrix_add"]).to_bytes())
+        raw[10] ^= 0xFF  # flip a byte of the kernel name
+        with pytest.raises(ProtocolError):
+            CubinImage.from_bytes(bytes(raw))
+
+
+class TestParamMarshalling:
+    def test_roundtrip_mixed(self):
+        params = [DevPtr(0x1000), 42, 3.5, DevPtr(0), 0]
+        assert unpack_params(pack_params(params)) == params
+
+    def test_bool_coerced_to_u64(self):
+        assert unpack_params(pack_params([True])) == [1]
+
+    def test_negative_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            pack_params([-1])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            pack_params(["string"])
+
+    def test_truncated_buffer_rejected(self):
+        raw = pack_params([1, 2, 3])
+        with pytest.raises(ProtocolError):
+            unpack_params(raw[:-3])
+
+    def test_devptr_index(self):
+        assert int(DevPtr(0x42).__index__()) == 0x42
+
+    def test_empty_params(self):
+        assert unpack_params(pack_params([])) == []

@@ -1,0 +1,208 @@
+"""Unit tests for the HIX SGX extension: EGCREATE/EGADD, GECS/TGMR."""
+
+import pytest
+
+from repro.errors import (
+    EnclaveStateError,
+    GpuAlreadyOwned,
+    NotAGpu,
+    TgmrRegistrationError,
+    TlbValidationError,
+)
+from repro.hw.mmu import AccessContext, AccessType, PageFlags
+from repro.hw.phys_mem import PAGE_SIZE
+from repro.pcie.device import Bdf
+from repro.system import Machine, MachineConfig
+
+FLAGS = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig())
+
+
+def _gpu_enclave(machine):
+    """Create and initialize an enclave suitable for EGCREATE."""
+    process = machine.kernel.create_process("driver")
+    from repro.sgx.enclave import EnclaveImage
+    enclave = machine.kernel.load_enclave(
+        process, EnclaveImage.from_code("drv", b"driver"))
+    return process, enclave
+
+
+class TestEgcreate:
+    def test_registers_gpu_and_locks(self, machine):
+        _, enclave = _gpu_enclave(machine)
+        entry = machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        assert entry.gpu_bdf == str(machine.gpu.bdf)
+        assert machine.root_complex.lockdown_enabled
+        assert entry.routing_measurement
+
+    def test_rejects_absent_device(self, machine):
+        _, enclave = _gpu_enclave(machine)
+        with pytest.raises(NotAGpu):
+            machine.sgx.egcreate(enclave.enclave_id, Bdf(1, 5, 0))
+
+    def test_rejects_double_registration(self, machine):
+        _, enclave_a = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave_a.enclave_id, machine.gpu.bdf)
+        _, enclave_b = _gpu_enclave(machine)
+        with pytest.raises(GpuAlreadyOwned):
+            machine.sgx.egcreate(enclave_b.enclave_id, machine.gpu.bdf)
+
+    def test_dead_owner_still_blocks(self, machine):
+        """Termination protection: registration survives enclave death."""
+        process, enclave = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        machine.kernel.kill_process(process)
+        _, enclave_b = _gpu_enclave(machine)
+        with pytest.raises(GpuAlreadyOwned):
+            machine.sgx.egcreate(enclave_b.enclave_id, machine.gpu.bdf)
+
+    def test_cold_boot_clears_registration(self, machine):
+        process, enclave = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        machine.kernel.kill_process(process)
+        machine.cold_boot()
+        _, enclave_b = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave_b.enclave_id, machine.gpu.bdf)
+        assert machine.sgx.hix.gecs_for_enclave(enclave_b.enclave_id)
+
+    def test_requires_initialized_enclave(self, machine):
+        secs = machine.sgx.ecreate(0x7000_0000, 4 * PAGE_SIZE)
+        with pytest.raises(EnclaveStateError):
+            machine.sgx.egcreate(secs.enclave_id, machine.gpu.bdf)
+
+    def test_consumes_epc_page_for_gecs(self, machine):
+        _, enclave = _gpu_enclave(machine)
+        free_before = machine.sgx.epc.free_pages
+        machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        assert machine.sgx.epc.free_pages == free_before - 1
+
+    def test_failed_egcreate_releases_gecs_page(self, machine):
+        _, enclave = _gpu_enclave(machine)
+        free_before = machine.sgx.epc.free_pages
+        with pytest.raises(NotAGpu):
+            machine.sgx.egcreate(enclave.enclave_id, Bdf(1, 5, 0))
+        assert machine.sgx.epc.free_pages == free_before
+
+
+class TestEgadd:
+    def _registered(self, machine):
+        process, enclave = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        bar0 = machine.gpu.config.bars[0]
+        return process, enclave, bar0
+
+    def test_registers_tgmr_pages(self, machine):
+        process, enclave, bar0 = self._registered(machine)
+        va = process.reserve_va(4 * PAGE_SIZE)
+        entries = machine.sgx.egadd(enclave.enclave_id, va, bar0.address,
+                                    npages=4)
+        assert len(entries) == 4
+        assert entries[1].paddr == bar0.address + PAGE_SIZE
+
+    def test_rejects_non_gpu_enclave(self, machine):
+        self._registered(machine)
+        _, other = _gpu_enclave(machine)
+        bar0 = machine.gpu.config.bars[0]
+        with pytest.raises(TgmrRegistrationError):
+            machine.sgx.egadd(other.enclave_id, 0x9000_0000, bar0.address)
+
+    def test_rejects_non_mmio_physical(self, machine):
+        process, enclave, _ = self._registered(machine)
+        with pytest.raises(TgmrRegistrationError):
+            machine.sgx.egadd(enclave.enclave_id, 0x9000_0000, 0x5000)
+
+    def test_rejects_double_registration_of_page(self, machine):
+        process, enclave, bar0 = self._registered(machine)
+        machine.sgx.egadd(enclave.enclave_id, 0x9000_0000, bar0.address)
+        with pytest.raises(TgmrRegistrationError):
+            machine.sgx.egadd(enclave.enclave_id, 0x9800_0000, bar0.address)
+
+    def test_rejects_vaddr_inside_elrange(self, machine):
+        process, enclave, bar0 = self._registered(machine)
+        with pytest.raises(TgmrRegistrationError):
+            machine.sgx.egadd(enclave.enclave_id, enclave.base, bar0.address)
+
+    def test_rejects_unaligned(self, machine):
+        process, enclave, bar0 = self._registered(machine)
+        with pytest.raises(TgmrRegistrationError):
+            machine.sgx.egadd(enclave.enclave_id, 0x9000_0001, bar0.address)
+
+
+class TestTgmrValidation:
+    def _setup(self, machine):
+        process, enclave = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        bar0 = machine.gpu.config.bars[0]
+        va = 0x9000_0000
+        machine.sgx.egadd(enclave.enclave_id, va, bar0.address, npages=2)
+        return enclave, va, bar0.address
+
+    def _validate(self, machine, ctx, va, pa):
+        machine.sgx.translation_validator()(ctx, va, pa, FLAGS,
+                                            AccessType.READ)
+
+    def test_owner_at_registered_mapping_allowed(self, machine):
+        enclave, va, pa = self._setup(machine)
+        ctx = AccessContext(asid=1, enclave_id=enclave.enclave_id)
+        self._validate(machine, ctx, va, pa)
+        self._validate(machine, ctx, va + PAGE_SIZE, pa + PAGE_SIZE)
+
+    def test_check1_wrong_enclave_denied(self, machine):
+        _, va, pa = self._setup(machine)
+        with pytest.raises(TlbValidationError):
+            self._validate(machine, AccessContext(asid=2), va, pa)
+
+    def test_check1_kernel_denied(self, machine):
+        _, va, pa = self._setup(machine)
+        with pytest.raises(TlbValidationError):
+            self._validate(machine,
+                           AccessContext(asid=0, is_kernel=True), va, pa)
+
+    def test_check23_wrong_vaddr_denied(self, machine):
+        enclave, va, pa = self._setup(machine)
+        ctx = AccessContext(asid=1, enclave_id=enclave.enclave_id)
+        with pytest.raises(TlbValidationError):
+            self._validate(machine, ctx, va + 8 * PAGE_SIZE, pa)
+
+    def test_check4_redirected_paddr_denied(self, machine):
+        enclave, va, pa = self._setup(machine)
+        ctx = AccessContext(asid=1, enclave_id=enclave.enclave_id)
+        with pytest.raises(TlbValidationError):
+            self._validate(machine, ctx, va, 0x5000)  # attacker DRAM
+
+    def test_unregistered_mmio_unprotected(self, machine):
+        """Pages never EGADDed fall outside TGMR protection (by design)."""
+        _, va, pa = self._setup(machine)
+        bar1 = machine.gpu.config.bars[1]
+        self._validate(machine, AccessContext(asid=2), 0xA000_0000,
+                       bar1.address)
+
+
+class TestGracefulRelease:
+    def test_egdestroy_frees_gpu(self, machine):
+        process, enclave = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        machine.sgx.egdestroy(enclave.enclave_id)
+        assert not machine.root_complex.lockdown_enabled
+        _, enclave_b = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave_b.enclave_id, machine.gpu.bdf)
+
+    def test_egdestroy_requires_live_enclave(self, machine):
+        process, enclave = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        machine.kernel.kill_process(process)
+        with pytest.raises(EnclaveStateError):
+            machine.sgx.egdestroy(enclave.enclave_id)
+
+    def test_egdestroy_clears_tgmr(self, machine):
+        process, enclave = _gpu_enclave(machine)
+        machine.sgx.egcreate(enclave.enclave_id, machine.gpu.bdf)
+        bar0 = machine.gpu.config.bars[0]
+        machine.sgx.egadd(enclave.enclave_id, 0x9000_0000, bar0.address,
+                          npages=2)
+        machine.sgx.egdestroy(enclave.enclave_id)
+        assert not machine.sgx.hix.tgmr_entries

@@ -1,0 +1,190 @@
+"""Unit tests for the MMU: page tables, TLB, walker validation hook."""
+
+import pytest
+
+from repro.errors import AccessDenied, PageFault, TlbValidationError
+from repro.hw.mmu import (
+    AccessContext,
+    AccessType,
+    Mmu,
+    PageFlags,
+    PageTable,
+)
+from repro.hw.phys_mem import PAGE_SIZE
+
+USER_RW = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
+USER_RO = PageFlags.PRESENT | PageFlags.USER
+KERNEL_RW = PageFlags.PRESENT | PageFlags.WRITABLE
+
+VA = 0x4000_0000
+PA = 0x10_0000
+
+
+def _ctx(asid=1, enclave=None, kernel=False):
+    return AccessContext(asid=asid, enclave_id=enclave, is_kernel=kernel)
+
+
+class TestPageTable:
+    def test_map_and_lookup(self):
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        paddr, flags = pt.lookup(VA + 123)
+        assert paddr == PA
+        assert flags == USER_RW
+
+    def test_unaligned_map_rejected(self):
+        pt = PageTable(asid=1)
+        with pytest.raises(ValueError):
+            pt.map(VA + 1, PA, USER_RW)
+
+    def test_unmapped_lookup_faults(self):
+        pt = PageTable(asid=1)
+        with pytest.raises(PageFault):
+            pt.lookup(VA)
+
+    def test_map_range(self):
+        pt = PageTable(asid=1)
+        pt.map_range(VA, PA, 4 * PAGE_SIZE, USER_RW)
+        assert pt.lookup(VA + 3 * PAGE_SIZE)[0] == PA + 3 * PAGE_SIZE
+        assert pt.mapped_pages() == 4
+
+    def test_unmap(self):
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        pt.unmap(VA)
+        with pytest.raises(PageFault):
+            pt.lookup(VA)
+
+    def test_non_present_entry_faults(self):
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, PageFlags(0))
+        with pytest.raises(PageFault):
+            pt.lookup(VA)
+
+
+class TestMmuTranslation:
+    def test_basic_translation(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        assert mmu.translate(pt, _ctx(), VA + 5, AccessType.READ) == PA + 5
+
+    def test_tlb_hit_on_second_access(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        mmu.translate(pt, _ctx(), VA, AccessType.READ)
+        before = mmu.tlb.hits
+        mmu.translate(pt, _ctx(), VA + 8, AccessType.READ)
+        assert mmu.tlb.hits == before + 1
+
+    def test_write_to_readonly_denied(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RO)
+        with pytest.raises(AccessDenied):
+            mmu.translate(pt, _ctx(), VA, AccessType.WRITE)
+
+    def test_user_access_to_supervisor_page_denied(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, KERNEL_RW)
+        with pytest.raises(AccessDenied):
+            mmu.translate(pt, _ctx(kernel=False), VA, AccessType.READ)
+
+    def test_kernel_can_access_supervisor_page(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, KERNEL_RW)
+        assert mmu.translate(pt, _ctx(kernel=True), VA,
+                             AccessType.READ) == PA
+
+    def test_validator_called_on_miss_only(self):
+        calls = []
+        mmu = Mmu()
+        mmu.set_validator(lambda *args: calls.append(args))
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        mmu.translate(pt, _ctx(), VA, AccessType.READ)
+        mmu.translate(pt, _ctx(), VA + 1, AccessType.READ)
+        assert len(calls) == 1
+
+    def test_validator_rejection_blocks_fill(self):
+        mmu = Mmu()
+
+        def deny(ctx, va, pa, flags, access):
+            raise TlbValidationError("no")
+
+        mmu.set_validator(deny)
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        with pytest.raises(TlbValidationError):
+            mmu.translate(pt, _ctx(), VA, AccessType.READ)
+        assert len(mmu.tlb) == 0
+
+    def test_enclave_tagged_entries_rewalked_across_contexts(self):
+        """A TLB entry filled in enclave mode is not reused outside it."""
+        calls = []
+        mmu = Mmu()
+        mmu.set_validator(lambda *args: calls.append(args))
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        mmu.translate(pt, _ctx(enclave=7), VA, AccessType.READ)
+        mmu.translate(pt, _ctx(enclave=None), VA, AccessType.READ)
+        assert len(calls) == 2  # second access re-walked
+
+    def test_flush_page_forces_rewalk(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        mmu.translate(pt, _ctx(), VA, AccessType.READ)
+        pt.map(VA, PA + PAGE_SIZE, USER_RW)
+        mmu.tlb.flush_page(1, VA)
+        assert mmu.translate(pt, _ctx(), VA,
+                             AccessType.READ) == PA + PAGE_SIZE
+
+    def test_stale_tlb_entry_survives_without_flush(self):
+        """Models real hardware: page-table writes alone don't retranslate."""
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        mmu.translate(pt, _ctx(), VA, AccessType.READ)
+        pt.map(VA, PA + PAGE_SIZE, USER_RW)
+        assert mmu.translate(pt, _ctx(), VA, AccessType.READ) == PA
+
+    def test_flush_asid_only_affects_that_asid(self):
+        mmu = Mmu()
+        pt1, pt2 = PageTable(asid=1), PageTable(asid=2)
+        pt1.map(VA, PA, USER_RW)
+        pt2.map(VA, PA, USER_RW)
+        mmu.translate(pt1, _ctx(asid=1), VA, AccessType.READ)
+        mmu.translate(pt2, _ctx(asid=2), VA, AccessType.READ)
+        mmu.tlb.flush_asid(1)
+        assert len(mmu.tlb) == 1
+
+
+class TestMultiPageAccess:
+    def test_virt_read_spans_pages(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        backing = bytearray(4 * PAGE_SIZE)
+        pt.map_range(VA, 0, 4 * PAGE_SIZE, USER_RW)
+        backing[PAGE_SIZE - 2:PAGE_SIZE + 2] = b"abcd"
+
+        def phys_read(paddr, length):
+            return bytes(backing[paddr:paddr + length])
+
+        data = mmu.virt_read(pt, _ctx(), VA + PAGE_SIZE - 2, 4, phys_read)
+        assert data == b"abcd"
+
+    def test_virt_write_spans_pages(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        backing = bytearray(4 * PAGE_SIZE)
+        pt.map_range(VA, 0, 4 * PAGE_SIZE, USER_RW)
+
+        def phys_write(paddr, data):
+            backing[paddr:paddr + len(data)] = data
+
+        mmu.virt_write(pt, _ctx(), VA + PAGE_SIZE - 3, b"zzzzzz", phys_write)
+        assert bytes(backing[PAGE_SIZE - 3:PAGE_SIZE + 3]) == b"zzzzzz"

@@ -1,0 +1,123 @@
+"""Unit tests for OCB3 mode against the RFC 7253 Appendix A vectors."""
+
+import pytest
+
+from repro.crypto.ocb import OCB_AES128, ocb_decrypt, ocb_encrypt
+from repro.errors import IntegrityError
+
+KEY = bytes.fromhex("000102030405060708090A0B0C0D0E0F")
+
+# RFC 7253 Appendix A sample results (AEAD_AES_128_OCB_TAGLEN128).
+# Each row: nonce, associated data, plaintext, ciphertext||tag.
+RFC7253_VECTORS = [
+    ("BBAA99887766554433221100", "", "",
+     "785407BFFFC8AD9EDCC5520AC9111EE6"),
+    ("BBAA99887766554433221101", "0001020304050607", "0001020304050607",
+     "6820B3657B6F615A5725BDA0D3B4EB3A257C9AF1F8F03009"),
+    ("BBAA99887766554433221102", "0001020304050607", "",
+     "81017F8203F081277152FADE694A0A00"),
+    ("BBAA99887766554433221103", "", "0001020304050607",
+     "45DD69F8F5AAE72414054CD1F35D82760B2CD00D2F99BFA9"),
+    ("BBAA99887766554433221104",
+     "000102030405060708090A0B0C0D0E0F",
+     "000102030405060708090A0B0C0D0E0F",
+     "571D535B60B277188BE5147170A9A22C3AD7A4FF3835B8C5701C1CCEC8FC3358"),
+    ("BBAA99887766554433221105",
+     "000102030405060708090A0B0C0D0E0F", "",
+     "8CF761B6902EF764462AD86498CA6B97"),
+    ("BBAA99887766554433221106", "",
+     "000102030405060708090A0B0C0D0E0F",
+     "5CE88EC2E0692706A915C00AEB8B2396F40E1C743F52436BDF06D8FA1ECA343D"),
+    ("BBAA99887766554433221107",
+     "000102030405060708090A0B0C0D0E0F1011121314151617",
+     "000102030405060708090A0B0C0D0E0F1011121314151617",
+     "1CA2207308C87C010756104D8840CE1952F09673A448A122"
+     "C92C62241051F57356D7F3C90BB0E07F"),
+    ("BBAA99887766554433221108",
+     "000102030405060708090A0B0C0D0E0F1011121314151617", "",
+     "6DC225A071FC1B9F7C69F93B0F1E10DE"),
+    ("BBAA99887766554433221109", "",
+     "000102030405060708090A0B0C0D0E0F1011121314151617",
+     "221BD0DE7FA6FE993ECCD769460A0AF2D6CDED0C395B1C3C"
+     "E725F32494B9F914D85C0B1EB38357FF"),
+    ("BBAA9988776655443322110A",
+     "000102030405060708090A0B0C0D0E0F"
+     "101112131415161718191A1B1C1D1E1F",
+     "000102030405060708090A0B0C0D0E0F"
+     "101112131415161718191A1B1C1D1E1F",
+     "BD6F6C496201C69296C11EFD138A467ABD3C707924B964DE"
+     "AFFC40319AF5A48540FBBA186C5553C68AD9F592A79A4240"),
+]
+
+
+@pytest.mark.parametrize("nonce_hex,ad_hex,pt_hex,out_hex", RFC7253_VECTORS)
+def test_rfc7253_encrypt(nonce_hex, ad_hex, pt_hex, out_hex):
+    nonce = bytes.fromhex(nonce_hex)
+    ad = bytes.fromhex(ad_hex)
+    plaintext = bytes.fromhex(pt_hex)
+    ciphertext, tag = ocb_encrypt(KEY, nonce, plaintext, ad)
+    assert (ciphertext + tag).hex().upper() == out_hex
+
+
+@pytest.mark.parametrize("nonce_hex,ad_hex,pt_hex,out_hex", RFC7253_VECTORS)
+def test_rfc7253_decrypt(nonce_hex, ad_hex, pt_hex, out_hex):
+    nonce = bytes.fromhex(nonce_hex)
+    ad = bytes.fromhex(ad_hex)
+    combined = bytes.fromhex(out_hex)
+    ciphertext, tag = combined[:-16], combined[-16:]
+    assert ocb_decrypt(KEY, nonce, ciphertext, tag, ad).hex().upper() == pt_hex
+
+
+class TestOcbSemantics:
+    def test_tampered_ciphertext_rejected(self):
+        ciphertext, tag = ocb_encrypt(KEY, b"\x01" * 12, b"payload" * 5)
+        mutated = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+        with pytest.raises(IntegrityError):
+            ocb_decrypt(KEY, b"\x01" * 12, mutated, tag)
+
+    def test_tampered_tag_rejected(self):
+        ciphertext, tag = ocb_encrypt(KEY, b"\x01" * 12, b"payload")
+        mutated = bytes([tag[0] ^ 1]) + tag[1:]
+        with pytest.raises(IntegrityError):
+            ocb_decrypt(KEY, b"\x01" * 12, ciphertext, mutated)
+
+    def test_wrong_nonce_rejected(self):
+        ciphertext, tag = ocb_encrypt(KEY, b"\x01" * 12, b"payload")
+        with pytest.raises(IntegrityError):
+            ocb_decrypt(KEY, b"\x02" * 12, ciphertext, tag)
+
+    def test_wrong_associated_data_rejected(self):
+        ciphertext, tag = ocb_encrypt(KEY, b"\x01" * 12, b"payload", b"ctx-1")
+        with pytest.raises(IntegrityError):
+            ocb_decrypt(KEY, b"\x01" * 12, ciphertext, tag, b"ctx-2")
+
+    def test_ciphertext_length_equals_plaintext(self):
+        for length in (0, 1, 15, 16, 17, 63, 64, 100):
+            ciphertext, tag = ocb_encrypt(KEY, b"\x09" * 12, b"x" * length)
+            assert len(ciphertext) == length
+            assert len(tag) == 16
+
+    def test_instance_reuse_across_nonces(self):
+        ocb = OCB_AES128(KEY)
+        c1, t1 = ocb.encrypt(b"\x01" * 12, b"first")
+        c2, t2 = ocb.encrypt(b"\x02" * 12, b"second")
+        assert ocb.decrypt(b"\x01" * 12, c1, t1) == b"first"
+        assert ocb.decrypt(b"\x02" * 12, c2, t2) == b"second"
+
+    def test_bad_nonce_length_rejected(self):
+        with pytest.raises(ValueError):
+            OCB_AES128(KEY).encrypt(b"", b"data")
+        with pytest.raises(ValueError):
+            OCB_AES128(KEY).encrypt(b"\x00" * 16, b"data")
+
+    def test_bad_tag_length_rejected(self):
+        with pytest.raises(ValueError):
+            OCB_AES128(KEY, tag_len=0)
+        with pytest.raises(ValueError):
+            OCB_AES128(KEY, tag_len=17)
+
+    def test_truncated_tag_mode(self):
+        ocb = OCB_AES128(KEY, tag_len=12)
+        ciphertext, tag = ocb.encrypt(b"\x05" * 12, b"hello")
+        assert len(tag) == 12
+        assert ocb.decrypt(b"\x05" * 12, ciphertext, tag) == b"hello"

@@ -1,0 +1,122 @@
+"""Unit tests for the OS model: processes, kernel services, frames."""
+
+import pytest
+
+from repro.errors import ReproError, SgxError, TlbValidationError
+from repro.hw.phys_mem import PAGE_SIZE
+from repro.sgx.enclave import EnclaveImage
+from repro.system import Machine, MachineConfig
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig())
+
+
+class TestProcesses:
+    def test_distinct_pids(self, machine):
+        a = machine.kernel.create_process("a")
+        b = machine.kernel.create_process("b")
+        assert a.pid != b.pid
+
+    def test_va_reservation_disjoint(self, machine):
+        process = machine.kernel.create_process("p")
+        first = process.reserve_va(10 * PAGE_SIZE)
+        second = process.reserve_va(PAGE_SIZE)
+        assert second >= first + 10 * PAGE_SIZE
+
+    def test_context_without_enclave(self, machine):
+        process = machine.kernel.create_process("p")
+        ctx = process.context()
+        assert ctx.enclave_id is None
+        with pytest.raises(ValueError):
+            process.context(enclave_mode=True)
+
+
+class TestMemoryServices:
+    def test_alloc_and_rw(self, machine):
+        process = machine.kernel.create_process("p")
+        vaddr = machine.kernel.alloc_pages(process, 2)
+        machine.kernel.cpu_write(process, vaddr + 100, b"payload")
+        assert machine.kernel.cpu_read(process, vaddr + 100, 7) == b"payload"
+
+    def test_dma_buffer_contiguous(self, machine):
+        process = machine.kernel.create_process("p")
+        vaddr, paddr = machine.kernel.alloc_dma_buffer(process, 3 * PAGE_SIZE)
+        machine.kernel.cpu_write(process, vaddr, b"x" * (3 * PAGE_SIZE))
+        assert machine.phys_mem.read(paddr, 3) == b"xxx"
+        assert machine.phys_mem.read(paddr + 2 * PAGE_SIZE, 1) == b"x"
+
+    def test_share_mapping(self, machine):
+        a = machine.kernel.create_process("a")
+        b = machine.kernel.create_process("b")
+        vaddr = machine.kernel.alloc_pages(a, 1)
+        machine.kernel.cpu_write(a, vaddr, b"shared!")
+        peer_va = machine.kernel.share_mapping(a, vaddr, PAGE_SIZE, b)
+        assert machine.kernel.cpu_read(b, peer_va, 7) == b"shared!"
+
+    def test_frames_avoid_epc(self, machine):
+        epc = machine.sgx.epc
+        process = machine.kernel.create_process("p")
+        for _ in range(32):
+            _, paddr = machine.kernel.alloc_dma_buffer(process, PAGE_SIZE)
+            assert not epc.contains(paddr)
+
+    def test_remap_page_takes_effect(self, machine):
+        process = machine.kernel.create_process("p")
+        va = machine.kernel.alloc_pages(process, 1)
+        machine.kernel.cpu_write(process, va, b"original")
+        target = machine.kernel.frames.alloc_contiguous(1)
+        machine.phys_mem.write(target, b"replaced")
+        machine.kernel.remap_page(process, va, target)
+        assert machine.kernel.cpu_read(process, va, 8) == b"replaced"
+
+
+class TestEnclaveLoading:
+    def test_load_and_identity(self, machine):
+        process = machine.kernel.create_process("p")
+        image = EnclaveImage.from_code("app", b"application code")
+        enclave = machine.kernel.load_enclave(process, image)
+        from repro.sgx.enclave import expected_measurement
+        assert enclave.measurement == expected_measurement(image)
+
+    def test_enclave_memory_protected_from_kernel(self, machine):
+        process = machine.kernel.create_process("p")
+        enclave = machine.kernel.load_enclave(
+            process, EnclaveImage.from_code("app", b"code"))
+        # Even the kernel's own mapping of the EPC frame is rejected.
+        paddr, _ = process.page_table.lookup(enclave.base)
+        kva = machine.kernel.map_physical(machine.kernel.kernel_process,
+                                          paddr, PAGE_SIZE)
+        with pytest.raises(TlbValidationError):
+            machine.kernel.cpu_read(machine.kernel.kernel_process, kva, 16)
+
+    def test_enclave_can_read_own_memory(self, machine):
+        process = machine.kernel.create_process("p")
+        enclave = machine.kernel.load_enclave(
+            process, EnclaveImage.from_code("app", b"my code"))
+        data = machine.kernel.cpu_read(process, enclave.base, 7,
+                                       enclave_mode=True)
+        assert data == b"my code"
+
+    def test_enclave_needs_enclave_mode(self, machine):
+        process = machine.kernel.create_process("p")
+        enclave = machine.kernel.load_enclave(
+            process, EnclaveImage.from_code("app", b"my code"))
+        with pytest.raises(TlbValidationError):
+            machine.kernel.cpu_read(process, enclave.base, 7)
+
+    def test_one_enclave_per_process(self, machine):
+        process = machine.kernel.create_process("p")
+        machine.kernel.load_enclave(process,
+                                    EnclaveImage.from_code("a", b"a"))
+        with pytest.raises(SgxError):
+            machine.kernel.load_enclave(process,
+                                        EnclaveImage.from_code("b", b"b"))
+
+    def test_kill_destroys_enclave(self, machine):
+        process = machine.kernel.create_process("p")
+        enclave = machine.kernel.load_enclave(
+            process, EnclaveImage.from_code("app", b"code"))
+        machine.kernel.kill_process(process)
+        assert not machine.sgx.enclave(enclave.enclave_id).alive

@@ -1,0 +1,219 @@
+"""Unit tests for TLPs, root ports, root complex routing, and lockdown."""
+
+import pytest
+
+from repro.errors import UnsupportedRequest
+from repro.pcie.config_space import Bar, CLASS_DISPLAY_VGA, REG_MEMORY_WINDOW
+from repro.pcie.device import Bdf, PcieFunction
+from repro.pcie.port import RootPort
+from repro.pcie.root_complex import RootComplex
+from repro.pcie.tlp import Tlp, TlpKind
+from repro.pcie.topology import bios_assign_resources, build_topology
+
+MMIO_BASE = 0x1_0000_0000
+MMIO_SIZE = 1 << 30
+
+
+class FakeDevice(PcieFunction):
+    """Endpoint with one 64 KiB BAR backed by a bytearray."""
+
+    def __init__(self, bdf):
+        super().__init__(bdf, 0x10DE, 0x1080, CLASS_DISPLAY_VGA)
+        self.config.add_bar(Bar(index=0, size=0x10000))
+        self.store = bytearray(0x10000)
+
+    def bar_read(self, bar_index, offset, length):
+        return bytes(self.store[offset:offset + length])
+
+    def bar_write(self, bar_index, offset, data):
+        self.store[offset:offset + len(data)] = data
+
+
+@pytest.fixture
+def fabric():
+    device = FakeDevice(Bdf(1, 0, 0))
+    root_complex, port = build_topology(MMIO_BASE, MMIO_SIZE, [device])
+    return root_complex, port, device
+
+
+class TestBdf:
+    def test_str_roundtrip(self):
+        bdf = Bdf(1, 0, 0)
+        assert Bdf.parse(str(bdf)) == bdf
+
+    def test_parse_hex(self):
+        assert Bdf.parse("0a:1f.7") == Bdf(10, 31, 7)
+
+    def test_invalid_device_number(self):
+        with pytest.raises(ValueError):
+            Bdf(0, 32, 0)
+
+    def test_ordering(self):
+        assert Bdf(0, 1, 0) < Bdf(1, 0, 0)
+
+
+class TestTlp:
+    def test_mem_read_requires_address(self):
+        with pytest.raises(ValueError):
+            Tlp(TlpKind.MEM_READ)
+
+    def test_mem_write_requires_data(self):
+        with pytest.raises(ValueError):
+            Tlp(TlpKind.MEM_WRITE, address=0x1000)
+
+    def test_cfg_write_requires_value(self):
+        with pytest.raises(ValueError):
+            Tlp(TlpKind.CFG_WRITE, target_bdf="01:00.0", register_offset=0x10)
+
+    def test_factories(self):
+        tlp = Tlp.mem_write(0x1000, b"ab")
+        assert tlp.length == 2
+        assert tlp.kind is TlpKind.MEM_WRITE
+
+
+class TestRouting:
+    def test_bios_assigns_bar_inside_window(self, fabric):
+        _, port, device = fabric
+        bar = device.config.bars[0]
+        assert MMIO_BASE <= bar.address < MMIO_BASE + MMIO_SIZE
+        assert port.config.window_contains(bar.address, bar.size)
+
+    def test_mem_write_reaches_device(self, fabric):
+        root_complex, _, device = fabric
+        addr = device.config.bars[0].address + 0x100
+        root_complex.route(Tlp.mem_write(addr, b"hello"))
+        assert device.store[0x100:0x105] == b"hello"
+
+    def test_mem_read_roundtrip(self, fabric):
+        root_complex, _, device = fabric
+        device.store[0:4] = b"ping"
+        addr = device.config.bars[0].address
+        assert root_complex.route(Tlp.mem_read(addr, 4)) == b"ping"
+
+    def test_unclaimed_address_rejected(self, fabric):
+        root_complex, _, _ = fabric
+        with pytest.raises(UnsupportedRequest):
+            root_complex.route(Tlp.mem_read(MMIO_BASE + MMIO_SIZE - 8, 4))
+
+    def test_window_handlers_translate_offsets(self, fabric):
+        root_complex, _, device = fabric
+        offset = device.config.bars[0].address - MMIO_BASE
+        root_complex.window_write(offset + 4, b"zz")
+        assert device.store[4:6] == b"zz"
+
+    def test_config_read_by_bdf(self, fabric):
+        root_complex, _, device = fabric
+        value = root_complex.config_read(device.bdf, 0x00)
+        assert value == (0x1080 << 16) | 0x10DE
+
+    def test_config_access_to_absent_function(self, fabric):
+        root_complex, _, _ = fabric
+        with pytest.raises(UnsupportedRequest):
+            root_complex.config_read(Bdf(2, 0, 0), 0)
+
+    def test_bridge_window_gates_forwarding(self, fabric):
+        root_complex, port, device = fabric
+        addr = device.config.bars[0].address + 0x2000
+        # Shrink the bridge window below the access: routing must fail
+        # even though the BAR still claims the address.
+        port.config.set_window(MMIO_BASE, MMIO_BASE + 0x1000)
+        with pytest.raises(UnsupportedRequest):
+            root_complex.route(Tlp.mem_read(addr, 4))
+
+    def test_path_to(self, fabric):
+        root_complex, port, device = fabric
+        assert root_complex.path_to(device.bdf) == [str(port.bdf),
+                                                    str(device.bdf)]
+
+
+class TestLockdown:
+    def test_config_writes_pass_before_lockdown(self, fabric):
+        root_complex, _, device = fabric
+        offset = device.config.bar_offset(0)
+        assert root_complex.config_write(device.bdf, offset, MMIO_BASE)
+        assert device.config.bars[0].address == MMIO_BASE
+
+    def test_lockdown_discards_bar_writes(self, fabric):
+        root_complex, _, device = fabric
+        root_complex.enable_lockdown(device.bdf)
+        before = device.config.bars[0].address
+        ok = root_complex.config_write(device.bdf, device.config.bar_offset(0),
+                                       0xDEAD0000)
+        assert not ok
+        assert device.config.bars[0].address == before
+        assert root_complex.rejected_config_writes
+
+    def test_lockdown_covers_the_root_port(self, fabric):
+        root_complex, port, device = fabric
+        root_complex.enable_lockdown(device.bdf)
+        before = (port.config.memory_base, port.config.memory_limit)
+        ok = root_complex.config_write(port.bdf, REG_MEMORY_WINDOW, 0)
+        assert not ok
+        assert (port.config.memory_base, port.config.memory_limit) == before
+
+    def test_lockdown_leaves_benign_registers_writable(self, fabric):
+        root_complex, _, device = fabric
+        root_complex.enable_lockdown(device.bdf)
+        assert root_complex.config_write(device.bdf, 0x04, 0x6)  # command reg
+
+    def test_sizing_inquiry_rejected_by_default(self, fabric):
+        """Paper Section 5.6: BAR sizing breaks under lockdown."""
+        root_complex, _, device = fabric
+        root_complex.enable_lockdown(device.bdf)
+        ok = root_complex.config_write(device.bdf, device.config.bar_offset(0),
+                                       0xFFFFFFFF)
+        assert not ok
+
+    def test_sizing_inquiry_exception_flag(self):
+        """...unless the root complex implements the suggested exception."""
+        device = FakeDevice(Bdf(1, 0, 0))
+        root_complex, _ = build_topology(MMIO_BASE, MMIO_SIZE, [device],
+                                         allow_sizing_inquiry=True)
+        root_complex.enable_lockdown(device.bdf)
+        assert root_complex.config_write(
+            device.bdf, device.config.bar_offset(0), 0xFFFFFFF0)
+        assert device.config.bars[0].is_sizing_write
+
+    def test_clear_lockdown(self, fabric):
+        root_complex, _, device = fabric
+        root_complex.enable_lockdown(device.bdf)
+        root_complex.clear_lockdown()
+        assert root_complex.config_write(
+            device.bdf, device.config.bar_offset(0), MMIO_BASE)
+
+    def test_routing_measurement_changes_with_config(self, fabric):
+        root_complex, _, device = fabric
+        before = root_complex.measure_routing_config()
+        root_complex.config_write(device.bdf, device.config.bar_offset(0),
+                                  MMIO_BASE + 0x100000)
+        assert root_complex.measure_routing_config() != before
+
+    def test_routing_measurement_stable_without_change(self, fabric):
+        root_complex, _, _ = fabric
+        assert (root_complex.measure_routing_config()
+                == root_complex.measure_routing_config())
+
+
+class TestTopologyReassignment:
+    def test_reassignment_is_idempotent_for_programmed_bars(self, fabric):
+        root_complex, _, device = fabric
+        before = device.config.bars[0].address
+        bios_assign_resources(root_complex)
+        assert device.config.bars[0].address == before
+
+    def test_hotplugged_device_gets_resources(self, fabric):
+        root_complex, port, device = fabric
+        newcomer = FakeDevice(Bdf(1, 1, 0))
+        port.attach(newcomer)
+        bios_assign_resources(root_complex)
+        assert newcomer.config.bars[0].address >= device.config.bars[0].limit
+
+    def test_attach_wrong_bus_rejected(self, fabric):
+        _, port, _ = fabric
+        with pytest.raises(ValueError):
+            port.attach(FakeDevice(Bdf(2, 0, 0)))
+
+    def test_attach_duplicate_bdf_rejected(self, fabric):
+        _, port, _ = fabric
+        with pytest.raises(ValueError):
+            port.attach(FakeDevice(Bdf(1, 0, 0)))

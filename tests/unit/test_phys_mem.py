@@ -1,0 +1,70 @@
+"""Unit tests for the sparse physical memory model."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.hw.phys_mem import PAGE_SIZE, PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(PAGE_SIZE + 1)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)
+
+    def test_reads_zero_before_write(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        assert mem.read(100, 64) == bytes(64)
+
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        mem.write(1234, b"hello world")
+        assert mem.read(1234, 11) == b"hello world"
+
+    def test_page_spanning_write(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        data = bytes(range(256)) * 40  # 10240 bytes, spans 3+ pages
+        mem.write(PAGE_SIZE - 100, data)
+        assert mem.read(PAGE_SIZE - 100, len(data)) == data
+
+    def test_out_of_bounds_read(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        with pytest.raises(BusError):
+            mem.read(4 * PAGE_SIZE - 2, 4)
+
+    def test_out_of_bounds_write(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        with pytest.raises(BusError):
+            mem.write(4 * PAGE_SIZE, b"x")
+
+    def test_negative_address(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        with pytest.raises(BusError):
+            mem.read(-4, 4)
+
+    def test_negative_length(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        with pytest.raises(ValueError):
+            mem.read(0, -1)
+
+    def test_lazy_page_materialisation(self):
+        mem = PhysicalMemory(1 << 30)  # 1 GiB costs nothing up front
+        assert mem.resident_pages() == 0
+        mem.write(512 << 20, b"x")
+        assert mem.resident_pages() == 1
+
+    def test_zero_range(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        mem.write(0, b"\xFF" * 100)
+        mem.zero(10, 50)
+        assert mem.read(0, 10) == b"\xFF" * 10
+        assert mem.read(10, 50) == bytes(50)
+        assert mem.read(60, 40) == b"\xFF" * 40
+
+    def test_empty_write_is_noop(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        mem.write(0, b"")
+        assert mem.resident_pages() == 0

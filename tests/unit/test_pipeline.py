@@ -1,0 +1,91 @@
+"""Unit tests for the chunked-pipeline timing math (paper Section 5.2)."""
+
+import pytest
+
+from repro.sim.pipeline import effective_bandwidth, pipelined_time, serial_time
+
+MB = float(1 << 20)
+GB = float(1 << 30)
+
+
+class TestSerialTime:
+    def test_single_stage(self):
+        assert serial_time(GB, [GB]) == pytest.approx(1.0)
+
+    def test_two_stages_add(self):
+        assert serial_time(GB, [GB, 2 * GB]) == pytest.approx(1.5)
+
+    def test_latencies_added_once(self):
+        assert serial_time(0, [GB], [0.25, 0.25]) == pytest.approx(0.5)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            serial_time(-1, [GB])
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            serial_time(1.0, [0.0])
+
+
+class TestPipelinedTime:
+    def test_single_chunk_degenerates_to_serial(self):
+        assert pipelined_time(MB, [GB, GB], 4 * MB) == pytest.approx(
+            serial_time(MB, [GB, GB]))
+
+    def test_bottleneck_dominates_steady_state(self):
+        # 100 chunks, slow stage 1s/chunk, fast stage 0.1s/chunk:
+        # makespan ~ fill (1.1) + 99 * 1.0.
+        nbytes = 100 * MB
+        slow = MB  # 1 s per 1 MB chunk
+        fast = 10 * MB
+        makespan = pipelined_time(nbytes, [slow, fast], MB)
+        assert makespan == pytest.approx(1.1 + 99 * 1.0)
+
+    def test_order_of_stages_irrelevant_to_steady_state(self):
+        a = pipelined_time(64 * MB, [GB, 2 * GB], 4 * MB)
+        b = pipelined_time(64 * MB, [2 * GB, GB], 4 * MB)
+        assert a == pytest.approx(b)
+
+    def test_pipelining_beats_serial(self):
+        nbytes = 128 * MB
+        stages = [1.9 * GB, 6.0 * GB]
+        assert (pipelined_time(nbytes, stages, 4 * MB)
+                < serial_time(nbytes, stages))
+
+    def test_pipelining_never_beats_bottleneck(self):
+        nbytes = 128 * MB
+        stages = [1.9 * GB, 6.0 * GB]
+        bottleneck_only = nbytes / min(stages)
+        assert pipelined_time(nbytes, stages, 4 * MB) >= bottleneck_only
+
+    def test_zero_bytes(self):
+        assert pipelined_time(0, [GB], 4 * MB) == 0.0
+
+    def test_zero_bytes_with_latency(self):
+        assert pipelined_time(0, [GB], 4 * MB, [0.5]) == pytest.approx(0.5)
+
+    def test_no_stages(self):
+        assert pipelined_time(MB, [], 4 * MB) == 0.0
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            pipelined_time(MB, [GB], 0)
+
+    def test_smaller_chunks_approach_bottleneck(self):
+        nbytes = 64 * MB
+        stages = [2 * GB, 6 * GB]
+        coarse = pipelined_time(nbytes, stages, 16 * MB)
+        fine = pipelined_time(nbytes, stages, MB)
+        assert fine <= coarse
+
+
+def test_effective_bandwidth_bounded_by_bottleneck():
+    stages = [1.9 * GB, 6.0 * GB]
+    bandwidth = effective_bandwidth(256 * MB, stages, 4 * MB)
+    assert bandwidth <= min(stages)
+    assert bandwidth >= 0.8 * min(stages)
+
+
+def test_effective_bandwidth_rejects_empty_transfer():
+    with pytest.raises(ValueError):
+        effective_bandwidth(0, [GB], MB)

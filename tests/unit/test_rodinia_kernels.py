@@ -1,0 +1,217 @@
+"""Unit tests for the Rodinia GPU kernels, via a bare device harness.
+
+These exercise the kernel *math* directly on a context, independent of
+drivers and channels — fast, focused correctness checks against plain
+numpy references.
+"""
+
+import numpy as np
+import pytest
+
+import repro.workloads  # noqa: F401 - registers the rodinia kernels
+from repro.gpu.context import GpuContext
+from repro.gpu.device import SimGpu
+from repro.gpu.kernels import global_registry
+from repro.gpu.module import DevPtr
+from repro.pcie.device import Bdf
+
+VRAM = 32 << 20
+
+
+class KernelBench:
+    """Minimal harness: one device, one context, helper alloc/rw."""
+
+    def __init__(self):
+        self.gpu = SimGpu(Bdf(1, 0, 0), VRAM)
+        self.ctx = GpuContext(ctx_id=1)
+        self.gpu.contexts[1] = self.ctx
+        self._cursor = 0x1000_0000
+        self._vram_cursor = 0x1000
+
+    def alloc(self, nbytes: int) -> DevPtr:
+        nbytes = (nbytes + 0xFFF) & ~0xFFF
+        va, pa = self._cursor, self._vram_cursor
+        self.ctx.page_table.map_range(va, pa, nbytes)
+        self._cursor += nbytes
+        self._vram_cursor += nbytes
+        return DevPtr(va)
+
+    def upload(self, arr: np.ndarray) -> DevPtr:
+        ptr = self.alloc(arr.nbytes)
+        self.gpu.write_ctx(self.ctx, ptr.addr, arr.tobytes())
+        return ptr
+
+    def download(self, ptr: DevPtr, dtype, count) -> np.ndarray:
+        raw = self.gpu.read_ctx(self.ctx, ptr.addr,
+                                count * np.dtype(dtype).itemsize)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def launch(self, name: str, params) -> None:
+        global_registry().lookup(name).fn(self.gpu, self.ctx, params)
+
+
+@pytest.fixture
+def bench():
+    return KernelBench()
+
+
+class TestBackpropKernels:
+    def test_layerforward_matches_numpy(self, bench):
+        rng = np.random.default_rng(1)
+        n_in, n_hid = 200, 8
+        x = rng.random(n_in, dtype=np.float32)
+        w = rng.random((n_in + 1, n_hid), dtype=np.float32) * 0.1
+        hid = bench.alloc(n_hid * 4)
+        bench.launch("rodinia.bp_layerforward",
+                     [bench.upload(x), bench.upload(w), hid, n_in, n_hid])
+        got = bench.download(hid, np.float32, n_hid)
+        want = 1.0 / (1.0 + np.exp(-(w[0] + x @ w[1:])))
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_adjust_weights_gradient_step(self, bench):
+        rng = np.random.default_rng(2)
+        n_in, n_hid = 50, 4
+        x = rng.random(n_in, dtype=np.float32)
+        w = rng.random((n_in + 1, n_hid), dtype=np.float32)
+        delta = rng.random(n_hid, dtype=np.float32)
+        w_ptr = bench.upload(w)
+        bench.launch("rodinia.bp_adjust_weights",
+                     [bench.upload(x), w_ptr, bench.upload(delta),
+                      n_in, n_hid, 0.5])
+        got = bench.download(w_ptr, np.float32, (n_in + 1) * n_hid)
+        want = w + np.float32(0.5) * np.outer(
+            np.concatenate(([1.0], x)).astype(np.float32), delta
+        ).astype(np.float32)
+        np.testing.assert_allclose(got.reshape(n_in + 1, n_hid), want,
+                                   rtol=1e-5)
+
+
+class TestBfsKernel:
+    def test_single_level_expansion(self, bench):
+        # 0 -> 1 -> {2, 3}; start dist [0,-1,-1,-1], level 0 discovers 1.
+        offsets = np.array([0, 1, 3, 3, 3], dtype=np.int32)
+        edges = np.array([1, 2, 3], dtype=np.int32)
+        dist = np.array([0, -1, -1, -1], dtype=np.int32)
+        d_off, d_edges = bench.upload(offsets), bench.upload(edges)
+        d_dist, d_flag = bench.upload(dist), bench.alloc(4)
+        bench.launch("rodinia.bfs_level",
+                     [d_off, d_edges, d_dist, d_flag, 4, 0])
+        assert bench.download(d_dist, np.int32, 4).tolist() == [0, 1, -1, -1]
+        assert bench.download(d_flag, np.int32, 1)[0] == 1
+
+    def test_terminal_level_sets_zero_flag(self, bench):
+        offsets = np.array([0, 0], dtype=np.int32)
+        edges = np.array([0], dtype=np.int32)
+        dist = np.array([0], dtype=np.int32)
+        d_flag = bench.alloc(4)
+        bench.launch("rodinia.bfs_level",
+                     [bench.upload(offsets), bench.upload(edges),
+                      bench.upload(dist), d_flag, 1, 0])
+        assert bench.download(d_flag, np.int32, 1)[0] == 0
+
+
+class TestGaussianKernels:
+    def test_fan1_fan2_one_pivot(self, bench):
+        n = 8
+        rng = np.random.default_rng(3)
+        a = (rng.random((n, n), dtype=np.float32)
+             + n * np.eye(n, dtype=np.float32))
+        b = rng.random(n, dtype=np.float32)
+        m = np.zeros((n, n), dtype=np.float32)
+        d_a, d_b, d_m = bench.upload(a), bench.upload(b), bench.upload(m)
+        bench.launch("rodinia.gs_fan1", [d_m, d_a, n, 0])
+        bench.launch("rodinia.gs_fan2", [d_m, d_a, d_b, n, 0])
+        a_new = bench.download(d_a, np.float32, n * n).reshape(n, n)
+        # Column 0 below the pivot must be eliminated.
+        np.testing.assert_allclose(a_new[1:, 0], 0.0, atol=1e-4)
+
+
+class TestLudKernels:
+    def test_block_pipeline_factorizes(self, bench):
+        n, bs = 32, 8
+        rng = np.random.default_rng(4)
+        a = (rng.random((n, n), dtype=np.float32)
+             + n * np.eye(n, dtype=np.float32))
+        d_a = bench.upload(a)
+        for k0 in range(0, n, bs):
+            bench.launch("rodinia.lud_diagonal", [d_a, n, k0, bs])
+            if k0 + bs < n:
+                bench.launch("rodinia.lud_perimeter", [d_a, n, k0, bs])
+                bench.launch("rodinia.lud_internal", [d_a, n, k0, bs])
+        lu = bench.download(d_a, np.float32, n * n).reshape(n, n)
+        lower = np.tril(lu.astype(np.float64), -1) + np.eye(n)
+        upper = np.triu(lu.astype(np.float64))
+        np.testing.assert_allclose(lower @ upper, a, rtol=1e-3, atol=1e-2)
+
+
+class TestStencilKernels:
+    def test_hotspot_step_conserves_shape(self, bench):
+        n = 16
+        rng = np.random.default_rng(5)
+        temp = rng.random((n, n), dtype=np.float32) * 10 + 300
+        power = rng.random((n, n), dtype=np.float32)
+        d_t, d_p = bench.upload(temp), bench.upload(power)
+        bench.launch("rodinia.hs_step", [d_t, d_p, n, n])
+        got = bench.download(d_t, np.float32, n * n).reshape(n, n)
+        from repro.workloads.rodinia.hotspot import _step
+        np.testing.assert_allclose(got, _step(temp, power), rtol=1e-5)
+
+    def test_srad_iteration(self, bench):
+        rows, cols = 12, 10
+        rng = np.random.default_rng(6)
+        img = rng.random((rows, cols), dtype=np.float32) + 0.5
+        d_img, d_c = bench.upload(img), bench.alloc(rows * cols * 4)
+        bench.launch("rodinia.srad_coeff", [d_img, d_c, rows, cols])
+        bench.launch("rodinia.srad_update", [d_img, d_c, rows, cols])
+        got = bench.download(d_img, np.float32, rows * cols)
+        from repro.workloads.rodinia.srad import _coeff, _update
+        want = _update(img.astype(np.float64),
+                       _coeff(img.astype(np.float64)).astype(np.float64))
+        np.testing.assert_allclose(got.reshape(rows, cols), want, rtol=1e-4)
+
+
+class TestDpKernels:
+    def test_nw_band_matches_naive(self, bench):
+        n = 24
+        n1 = n + 1
+        rng = np.random.default_rng(7)
+        reference = rng.integers(-5, 5, size=(n1, n1), dtype=np.int32)
+        score = np.zeros((n1, n1), dtype=np.int32)
+        score[0, :] = -10 * np.arange(n1)
+        score[:, 0] = -10 * np.arange(n1)
+        d_s, d_r = bench.upload(score), bench.upload(reference)
+        for row0 in range(1, n1, 8):
+            bench.launch("rodinia.nw_band",
+                         [d_s, d_r, n1, row0, min(8, n1 - row0), 10])
+        got = bench.download(d_s, np.int32, n1 * n1).reshape(n1, n1)
+        naive = score.astype(np.int64)
+        for i in range(1, n1):
+            for j in range(1, n1):
+                naive[i, j] = max(naive[i - 1, j - 1] + reference[i, j],
+                                  naive[i - 1, j] - 10,
+                                  naive[i, j - 1] - 10)
+        assert (got == naive.astype(np.int32)).all()
+
+    def test_pf_rows_matches_naive(self, bench):
+        cols = 40
+        rng = np.random.default_rng(8)
+        grid = rng.integers(0, 9, size=(6, cols), dtype=np.int32)
+        d_grid, d_cost = bench.upload(grid), bench.upload(grid[0].copy())
+        bench.launch("rodinia.pf_rows", [d_grid, d_cost, cols, 1, 5])
+        got = bench.download(d_cost, np.int32, cols)
+        from repro.workloads.rodinia.pathfinder import _advance
+        want = grid[0].astype(np.int64)
+        for i in range(1, 6):
+            want = _advance(want, grid[i].astype(np.int64))
+        assert (got == want.astype(np.int32)).all()
+
+    def test_nn_dist(self, bench):
+        rng = np.random.default_rng(9)
+        locations = rng.random((30, 2), dtype=np.float32) * 50
+        d_loc, d_out = bench.upload(locations), bench.alloc(30 * 4)
+        bench.launch("rodinia.nn_dist", [d_loc, d_out, 30, 10.0, 20.0])
+        got = bench.download(d_out, np.float32, 30)
+        want = np.sqrt(((locations - np.array([10.0, 20.0],
+                                              dtype=np.float32)) ** 2
+                        ).sum(axis=1))
+        np.testing.assert_allclose(got, want, rtol=1e-5)

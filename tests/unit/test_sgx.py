@@ -1,0 +1,235 @@
+"""Unit tests for the SGX engine: EPC/EPCM, lifecycle, measurement."""
+
+import pytest
+
+from repro.errors import (
+    EnclaveStateError,
+    EpcError,
+    SgxError,
+    TlbValidationError,
+)
+from repro.hw.mmu import AccessContext, AccessType, PageFlags
+from repro.hw.phys_mem import PAGE_SIZE
+from repro.sgx.enclave import EnclaveImage, elrange_size, expected_measurement
+from repro.sgx.epc import Epc, PageType
+from repro.sgx.instructions import SgxUnit
+from repro.sgx.measurement import EnclaveMeasurement
+
+EPC_BASE = 0x1000_0000
+EPC_SIZE = 256 * PAGE_SIZE
+ELBASE = 0x7000_0000
+
+
+@pytest.fixture
+def sgx():
+    return SgxUnit(Epc(EPC_BASE, EPC_SIZE))
+
+
+def _loaded(sgx, base=ELBASE, size=16 * PAGE_SIZE):
+    secs = sgx.ecreate(base, size)
+    paddr = sgx.eadd(secs.enclave_id, base)
+    sgx.eextend(secs.enclave_id, base, b"code page")
+    sgx.einit(secs.enclave_id)
+    return secs, paddr
+
+
+class TestEpc:
+    def test_allocate_and_release(self):
+        epc = Epc(EPC_BASE, EPC_SIZE)
+        free_before = epc.free_pages
+        paddr = epc.allocate(1, ELBASE, PageType.REG)
+        assert epc.contains(paddr)
+        assert epc.free_pages == free_before - 1
+        epc.release(paddr)
+        assert epc.free_pages == free_before
+
+    def test_exhaustion(self):
+        epc = Epc(EPC_BASE, 2 * PAGE_SIZE)
+        epc.allocate(1, None, PageType.SECS)
+        epc.allocate(1, None, PageType.REG)
+        with pytest.raises(EpcError):
+            epc.allocate(1, None, PageType.REG)
+
+    def test_release_invalid_page(self):
+        epc = Epc(EPC_BASE, EPC_SIZE)
+        with pytest.raises(EpcError):
+            epc.release(EPC_BASE)
+
+    def test_release_enclave_frees_all_pages(self):
+        epc = Epc(EPC_BASE, EPC_SIZE)
+        for i in range(5):
+            epc.allocate(7, ELBASE + i * PAGE_SIZE, PageType.REG)
+        epc.allocate(8, ELBASE, PageType.REG)
+        assert epc.release_enclave(7) == 5
+        assert len(epc.pages_of(8)) == 1
+
+    def test_entry_records_binding(self):
+        epc = Epc(EPC_BASE, EPC_SIZE)
+        paddr = epc.allocate(3, ELBASE, PageType.TCS)
+        entry = epc.entry_for(paddr)
+        assert entry.enclave_id == 3
+        assert entry.vaddr == ELBASE
+        assert entry.page_type is PageType.TCS
+
+    def test_non_epc_address_rejected(self):
+        epc = Epc(EPC_BASE, EPC_SIZE)
+        with pytest.raises(EpcError):
+            epc.entry_for(0x1000)
+
+
+class TestMeasurement:
+    def test_deterministic(self):
+        a, b = EnclaveMeasurement(), EnclaveMeasurement()
+        for m in (a, b):
+            m.record_ecreate(0x10000)
+            m.record_eadd(0, "reg")
+            m.record_eextend(0, b"content")
+        assert a.finalize() == b.finalize()
+
+    def test_order_sensitivity(self):
+        a, b = EnclaveMeasurement(), EnclaveMeasurement()
+        a.record_ecreate(0x10000)
+        a.record_eadd(0, "reg")
+        b.record_eadd(0, "reg")
+        b.record_ecreate(0x10000)
+        assert a.finalize() != b.finalize()
+
+    def test_content_sensitivity(self):
+        a, b = EnclaveMeasurement(), EnclaveMeasurement()
+        a.record_eextend(0, b"good code")
+        b.record_eextend(0, b"evil code")
+        assert a.finalize() != b.finalize()
+
+    def test_frozen_after_finalize(self):
+        m = EnclaveMeasurement()
+        m.finalize()
+        with pytest.raises(EnclaveStateError):
+            m.record_eadd(0, "reg")
+
+    def test_value_before_finalize_raises(self):
+        with pytest.raises(EnclaveStateError):
+            EnclaveMeasurement().value
+
+
+class TestLifecycle:
+    def test_full_lifecycle(self, sgx):
+        secs, _ = _loaded(sgx)
+        assert secs.initialized
+        assert secs.measurement.finalized
+
+    def test_eadd_outside_elrange(self, sgx):
+        secs = sgx.ecreate(ELBASE, 4 * PAGE_SIZE)
+        with pytest.raises(SgxError):
+            sgx.eadd(secs.enclave_id, ELBASE + 8 * PAGE_SIZE)
+
+    def test_eadd_after_einit(self, sgx):
+        secs, _ = _loaded(sgx)
+        with pytest.raises(EnclaveStateError):
+            sgx.eadd(secs.enclave_id, ELBASE + PAGE_SIZE)
+
+    def test_double_einit(self, sgx):
+        secs, _ = _loaded(sgx)
+        with pytest.raises(EnclaveStateError):
+            sgx.einit(secs.enclave_id)
+
+    def test_eenter_before_einit(self, sgx):
+        secs = sgx.ecreate(ELBASE, 4 * PAGE_SIZE)
+        with pytest.raises(EnclaveStateError):
+            sgx.eenter(secs.enclave_id, asid=1)
+
+    def test_eenter_returns_enclave_context(self, sgx):
+        secs, _ = _loaded(sgx)
+        ctx = sgx.eenter(secs.enclave_id, asid=9)
+        assert ctx.enclave_id == secs.enclave_id
+        assert ctx.asid == 9
+
+    def test_eenter_destroyed_enclave(self, sgx):
+        secs, _ = _loaded(sgx)
+        sgx.destroy_enclave(secs.enclave_id)
+        with pytest.raises(EnclaveStateError):
+            sgx.eenter(secs.enclave_id, asid=1)
+
+    def test_destroy_releases_epc(self, sgx):
+        free_before = sgx.epc.free_pages
+        secs, _ = _loaded(sgx)
+        sgx.destroy_enclave(secs.enclave_id)
+        assert sgx.epc.free_pages == free_before
+
+    def test_unknown_enclave_id(self, sgx):
+        with pytest.raises(SgxError):
+            sgx.enclave(999)
+
+    def test_unaligned_elrange(self, sgx):
+        with pytest.raises(SgxError):
+            sgx.ecreate(ELBASE + 1, PAGE_SIZE)
+
+
+class TestWalkerValidator:
+    def _validate(self, sgx, ctx, va, pa):
+        sgx.translation_validator()(ctx, va, pa,
+                                    PageFlags.PRESENT | PageFlags.USER
+                                    | PageFlags.WRITABLE, AccessType.READ)
+
+    def test_epc_access_by_owner_allowed(self, sgx):
+        secs, paddr = _loaded(sgx)
+        ctx = AccessContext(asid=1, enclave_id=secs.enclave_id)
+        self._validate(sgx, ctx, ELBASE, paddr)
+
+    def test_epc_access_by_other_denied(self, sgx):
+        secs, paddr = _loaded(sgx)
+        with pytest.raises(TlbValidationError):
+            self._validate(sgx, AccessContext(asid=2), ELBASE, paddr)
+
+    def test_epc_access_at_wrong_va_denied(self, sgx):
+        secs, paddr = _loaded(sgx)
+        ctx = AccessContext(asid=1, enclave_id=secs.enclave_id)
+        with pytest.raises(TlbValidationError):
+            self._validate(sgx, ctx, ELBASE + PAGE_SIZE, paddr)
+
+    def test_secs_page_never_software_visible(self, sgx):
+        secs, _ = _loaded(sgx)
+        ctx = AccessContext(asid=1, enclave_id=secs.enclave_id)
+        with pytest.raises(TlbValidationError):
+            self._validate(sgx, ctx, ELBASE, secs.secs_paddr)
+
+    def test_unallocated_epc_page_denied(self, sgx):
+        with pytest.raises(TlbValidationError):
+            self._validate(sgx, AccessContext(asid=1, is_kernel=True),
+                           ELBASE, EPC_BASE + EPC_SIZE - PAGE_SIZE)
+
+    def test_elrange_must_map_own_epc(self, sgx):
+        """OS remapping ELRANGE to non-EPC memory is rejected (Figure 1)."""
+        secs, _ = _loaded(sgx)
+        ctx = AccessContext(asid=1, enclave_id=secs.enclave_id)
+        with pytest.raises(TlbValidationError):
+            self._validate(sgx, ctx, ELBASE, 0x5000)  # plain DRAM
+
+    def test_non_enclave_dram_access_unaffected(self, sgx):
+        self._validate(sgx, AccessContext(asid=1), 0x4000_0000, 0x5000)
+
+
+class TestEnclaveImage:
+    def test_expected_measurement_matches_loader_semantics(self):
+        image = EnclaveImage.from_code("x", b"some enclave code")
+        assert expected_measurement(image) == expected_measurement(image)
+
+    def test_different_code_different_identity(self):
+        a = EnclaveImage.from_code("x", b"code A")
+        b = EnclaveImage.from_code("x", b"code B")
+        assert expected_measurement(a) != expected_measurement(b)
+
+    def test_elrange_size_power_of_two(self):
+        image = EnclaveImage.from_code("x", b"z" * 10000, heap_pages=3)
+        size = elrange_size(image)
+        assert size & (size - 1) == 0
+        assert size >= image.content_size()
+
+    def test_all_pages_includes_heap(self):
+        image = EnclaveImage.from_code("x", b"c", heap_pages=2)
+        pages = image.all_pages()
+        assert len(pages) == 3
+        assert pages[-1][1] == bytes(PAGE_SIZE)
+
+    def test_oversized_page_rejected(self):
+        with pytest.raises(ValueError):
+            EnclaveImage(name="x", pages=[(0, b"z" * (PAGE_SIZE + 1))])

@@ -1,0 +1,150 @@
+"""Unit + security tests for EPC paging (EWB/ELDU)."""
+
+import pytest
+
+from repro.errors import EpcError, IntegrityError, ReplayError
+from repro.hw.phys_mem import PAGE_SIZE, PhysicalMemory
+from repro.sgx.epc import Epc, PageType
+from repro.sgx.instructions import SgxUnit
+from repro.sgx.paging import EWB_BLOB_SIZE, VersionArray, eldu, ewb
+
+EPC_BASE = 0x100_0000
+ELBASE = 0x7000_0000
+DEST = 0x20_0000
+
+
+@pytest.fixture
+def env():
+    phys = PhysicalMemory(64 << 20)
+    sgx = SgxUnit(Epc(EPC_BASE, 128 * PAGE_SIZE))
+    secs = sgx.ecreate(ELBASE, 16 * PAGE_SIZE)
+    paddr = sgx.eadd(secs.enclave_id, ELBASE)
+    phys.write(paddr, b"enclave page content".ljust(64, b"."))
+    sgx.eextend(secs.enclave_id, ELBASE, b"content")
+    sgx.einit(secs.enclave_id)
+    va = VersionArray(sgx.epc)
+    return phys, sgx, secs, paddr, va
+
+
+class TestEwbEldu:
+    def test_roundtrip_preserves_content(self, env):
+        phys, sgx, secs, paddr, va = env
+        original = phys.read(paddr, PAGE_SIZE)
+        slot = ewb(sgx, phys, paddr, DEST, va)
+        new_paddr = eldu(sgx, phys, DEST, slot, va,
+                         secs.enclave_id, ELBASE)
+        assert phys.read(new_paddr, PAGE_SIZE) == original
+
+    def test_eviction_frees_epc(self, env):
+        phys, sgx, secs, paddr, va = env
+        free_before = sgx.epc.free_pages
+        ewb(sgx, phys, paddr, DEST, va)
+        assert sgx.epc.free_pages == free_before + 1
+
+    def test_evicted_blob_is_ciphertext(self, env):
+        phys, sgx, secs, paddr, va = env
+        ewb(sgx, phys, paddr, DEST, va)
+        blob = phys.read(DEST, EWB_BLOB_SIZE)
+        assert b"enclave page content" not in blob
+
+    def test_tampered_blob_rejected(self, env):
+        phys, sgx, secs, paddr, va = env
+        slot = ewb(sgx, phys, paddr, DEST, va)
+        blob = bytearray(phys.read(DEST, EWB_BLOB_SIZE))
+        blob[100] ^= 0xFF
+        phys.write(DEST, bytes(blob))
+        with pytest.raises(IntegrityError):
+            eldu(sgx, phys, DEST, slot, va, secs.enclave_id, ELBASE)
+
+    def test_replay_rejected(self, env):
+        """Reloading the same eviction twice must fail (VA slot consumed)."""
+        phys, sgx, secs, paddr, va = env
+        stale = None
+        slot = ewb(sgx, phys, paddr, DEST, va)
+        stale = phys.read(DEST, EWB_BLOB_SIZE)
+        eldu(sgx, phys, DEST, slot, va, secs.enclave_id, ELBASE)
+        phys.write(DEST, stale)  # OS replays the old encrypted page
+        with pytest.raises(ReplayError):
+            eldu(sgx, phys, DEST, slot, va, secs.enclave_id, ELBASE)
+
+    def test_wrong_enclave_binding_rejected(self, env):
+        phys, sgx, secs, paddr, va = env
+        slot = ewb(sgx, phys, paddr, DEST, va)
+        with pytest.raises(IntegrityError):
+            eldu(sgx, phys, DEST, slot, va, secs.enclave_id + 7, ELBASE)
+
+    def test_wrong_vaddr_binding_rejected(self, env):
+        phys, sgx, secs, paddr, va = env
+        slot = ewb(sgx, phys, paddr, DEST, va)
+        with pytest.raises(IntegrityError):
+            eldu(sgx, phys, DEST, slot, va, secs.enclave_id,
+                 ELBASE + PAGE_SIZE)
+
+    def test_binding_failure_is_recoverable(self, env):
+        """A failed (attacked) reload must not burn the version slot."""
+        phys, sgx, secs, paddr, va = env
+        original = phys.read(paddr, PAGE_SIZE)
+        slot = ewb(sgx, phys, paddr, DEST, va)
+        with pytest.raises(IntegrityError):
+            eldu(sgx, phys, DEST, slot, va, secs.enclave_id + 1, ELBASE)
+        new_paddr = eldu(sgx, phys, DEST, slot, va,
+                         secs.enclave_id, ELBASE)
+        assert phys.read(new_paddr, PAGE_SIZE) == original
+
+    def test_cross_page_swap_rejected(self, env):
+        """Swapping two evicted pages' blobs must fail both reloads."""
+        phys, sgx, secs, paddr, va = env
+        paddr2 = sgx.epc.allocate(secs.enclave_id, ELBASE + PAGE_SIZE,
+                                  PageType.REG)
+        phys.write(paddr2, b"second page".ljust(32, b"!"))
+        slot1 = ewb(sgx, phys, paddr, DEST, va)
+        slot2 = ewb(sgx, phys, paddr2, DEST + EWB_BLOB_SIZE, va)
+        # Present page 2's blob with page 1's slot/bindings.
+        with pytest.raises((IntegrityError, ReplayError)):
+            eldu(sgx, phys, DEST + EWB_BLOB_SIZE, slot1, va,
+                 secs.enclave_id, ELBASE)
+
+    def test_secs_pages_not_evictable(self, env):
+        phys, sgx, secs, paddr, va = env
+        with pytest.raises(EpcError):
+            ewb(sgx, phys, secs.secs_paddr, DEST, va)
+
+    def test_invalid_page_not_evictable(self, env):
+        phys, sgx, secs, paddr, va = env
+        free = sgx.epc.base + sgx.epc.size - PAGE_SIZE
+        with pytest.raises(EpcError):
+            ewb(sgx, phys, free, DEST, va)
+
+
+class TestVersionArray:
+    def test_slots_finite(self):
+        sgx = SgxUnit(Epc(EPC_BASE, 8 * PAGE_SIZE))
+        va = VersionArray(sgx.epc)
+        for _ in range(VersionArray.SLOTS_PER_PAGE):
+            va.reserve()
+        with pytest.raises(EpcError):
+            va.reserve()
+
+    def test_va_page_lives_in_epc(self):
+        sgx = SgxUnit(Epc(EPC_BASE, 8 * PAGE_SIZE))
+        va = VersionArray(sgx.epc)
+        assert sgx.epc.contains(va.paddr)
+        assert sgx.epc.entry_for(va.paddr).page_type is PageType.VA
+
+    def test_va_page_not_software_accessible(self):
+        """Version counters are hardware state: the walker denies access."""
+        from repro.errors import TlbValidationError
+        from repro.hw.mmu import AccessContext, AccessType, PageFlags
+        sgx = SgxUnit(Epc(EPC_BASE, 8 * PAGE_SIZE))
+        va = VersionArray(sgx.epc)
+        with pytest.raises(TlbValidationError):
+            sgx.translation_validator()(
+                AccessContext(asid=1, is_kernel=True), ELBASE, va.paddr,
+                PageFlags.PRESENT | PageFlags.WRITABLE, AccessType.READ)
+
+    def test_release(self):
+        sgx = SgxUnit(Epc(EPC_BASE, 8 * PAGE_SIZE))
+        free_before = sgx.epc.free_pages
+        va = VersionArray(sgx.epc)
+        va.release()
+        assert sgx.epc.free_pages == free_before

@@ -1,0 +1,85 @@
+"""Unit tests for clock listeners and the trace recorder."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.trace import TraceRecorder, record
+
+
+class TestClockListeners:
+    def test_listener_receives_charges(self):
+        clock = SimClock()
+        seen = []
+        clock.add_listener(lambda s, d, c: seen.append((s, d, c)))
+        clock.advance(1.0, "a")
+        clock.advance(0.5, "b")
+        assert seen == [(0.0, 1.0, "a"), (1.0, 0.5, "b")]
+
+    def test_remove_listener(self):
+        clock = SimClock()
+        seen = []
+        listener = lambda s, d, c: seen.append(c)
+        clock.add_listener(listener)
+        clock.advance(1.0, "a")
+        clock.remove_listener(listener)
+        clock.advance(1.0, "b")
+        assert seen == ["a"]
+
+
+class TestTraceRecorder:
+    def test_records_only_while_attached(self):
+        clock = SimClock()
+        recorder = TraceRecorder(clock)
+        clock.advance(1.0, "before")
+        with recorder:
+            clock.advance(2.0, "during")
+        clock.advance(3.0, "after")
+        assert [e.category for e in recorder.events] == ["during"]
+
+    def test_zero_duration_charges_skipped(self):
+        clock = SimClock()
+        with record(clock) as recorder:
+            clock.advance(0.0, "noop")
+            clock.advance(1.0, "real")
+        assert len(recorder.events) == 1
+
+    def test_queries(self):
+        clock = SimClock()
+        with record(clock) as recorder:
+            clock.advance(1.0, "copy")
+            clock.advance(2.0, "compute")
+            clock.advance(0.5, "copy")
+        assert recorder.total() == pytest.approx(3.5)
+        assert recorder.total("copy") == pytest.approx(1.5)
+        assert recorder.first("compute").start == pytest.approx(1.0)
+        assert len(recorder.by_category("copy")) == 2
+
+    def test_event_end(self):
+        clock = SimClock()
+        with record(clock) as recorder:
+            clock.advance(1.5, "x")
+        assert recorder.events[0].end == pytest.approx(1.5)
+
+    def test_render_empty(self):
+        assert "empty" in TraceRecorder(SimClock()).render()
+
+    def test_render_rows_per_category(self):
+        clock = SimClock()
+        with record(clock) as recorder:
+            clock.advance(1.0, "alpha")
+            clock.advance(1.0, "beta")
+        text = recorder.render(width=20)
+        assert "alpha" in text and "beta" in text and "#" in text
+
+    def test_ordering_property_on_real_run(self):
+        """On a HIX memcpy, CPU-side copy is charged before in-GPU crypto."""
+        from repro.system import Machine, MachineConfig
+        machine = Machine(MachineConfig())
+        service = machine.boot_hix()
+        app = machine.hix_session(service, "traced").cuCtxCreate()
+        buf = app.cuMemAlloc(4096)
+        with record(machine.clock) as recorder:
+            app.cuMemcpyHtoD(buf, b"\x11" * 4096)
+        copy = recorder.first("copy_h2d")
+        crypto = recorder.first("crypto_gpu")
+        assert copy is not None and crypto is not None

@@ -1,0 +1,48 @@
+"""Unit tests for the validation-report machinery (cheap paths only).
+
+The full `validate_reproduction` run is exercised by
+benchmarks/bench_validation.py; here we test the report plumbing and the
+JSON export of figures.
+"""
+
+from repro.evalkit.validation import Claim, ValidationReport
+
+
+class TestValidationReport:
+    def test_all_hold_true_when_empty(self):
+        assert ValidationReport().all_hold
+
+    def test_add_and_verdict(self):
+        report = ValidationReport()
+        report.add("a", "1", "1", True)
+        report.add("b", "2", "3", False)
+        assert not report.all_hold
+        text = report.render()
+        assert "SOME CLAIMS FAILED" in text
+        assert "FAIL" in text and "OK" in text
+
+    def test_render_all_hold(self):
+        report = ValidationReport()
+        report.add("a", "1", "1", True)
+        assert "ALL CLAIMS HOLD" in report.render()
+
+    def test_claim_fields(self):
+        claim = Claim("c", "p", "m", True)
+        assert (claim.claim, claim.paper, claim.measured,
+                claim.holds) == ("c", "p", "m", True)
+
+
+class TestFigureDataExport:
+    def test_to_dict_json_safe(self):
+        import json
+        from repro.evalkit.figures import FigureData
+        data = FigureData("F", "t", ["x1"], {"a": [1.0]}, notes=["n"])
+        encoded = json.dumps(data.to_dict())
+        decoded = json.loads(encoded)
+        assert decoded["series"]["a"] == [1.0]
+        assert decoded["x"] == ["x1"]
+
+    def test_ratio(self):
+        from repro.evalkit.figures import FigureData
+        data = FigureData("F", "t", ["x"], {"a": [4.0], "b": [2.0]})
+        assert data.ratio("a", "b") == [2.0]

@@ -1,0 +1,100 @@
+"""Metadata invariants across all workloads (Table 4/5 fidelity)."""
+
+import pytest
+
+from repro.workloads import MATRIX_SIZES, MatrixAdd, MatrixMul, matrix_data_sizes
+from repro.workloads.calibration import (
+    RODINIA_COMPUTE_SECONDS,
+    matrix_add_compute_seconds,
+    matrix_mul_compute_seconds,
+)
+from repro.workloads.rodinia import RODINIA_APPS, rodinia_workloads
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+@pytest.fixture(scope="module")
+def apps():
+    return {w.app_code: w for w in rodinia_workloads()}
+
+
+class TestTable5Fidelity:
+    """Transfer volumes exactly as Table 5 reports them."""
+
+    EXPECTED = {
+        "BP": (117.0 * MB, 42.75 * MB),
+        "BFS": (45.78 * MB, 3.81 * MB),
+        "GS": (32.00 * MB, 32.00 * MB),
+        "HS": (8.00 * MB, 4.00 * MB),
+        "LUD": (16.00 * MB, 16.00 * MB),
+        "NW": (128.1 * MB, 64.03 * MB),
+        "NN": (334.1 * KB, 167.05 * KB),
+        "PF": (256.0 * MB, 32.00 * KB),
+        "SRAD": (24.23 * MB, 24.19 * MB),
+    }
+
+    @pytest.mark.parametrize("code", RODINIA_APPS)
+    def test_volumes(self, apps, code):
+        h2d, d2h = self.EXPECTED[code]
+        assert apps[code].modeled_h2d == int(h2d)
+        assert apps[code].modeled_d2h == int(d2h)
+
+    def test_order_matches_paper(self):
+        assert RODINIA_APPS == ("BP", "BFS", "GS", "HS", "LUD",
+                                "NW", "NN", "PF", "SRAD")
+
+
+class TestWorkloadInvariants:
+    @pytest.mark.parametrize("code", RODINIA_APPS)
+    def test_positive_calibration(self, apps, code):
+        workload = apps[code]
+        assert workload.compute_seconds > 0
+        assert workload.n_launches >= 1
+        assert workload.per_launch_seconds() > 0
+        assert workload.problem_desc
+
+    @pytest.mark.parametrize("code", RODINIA_APPS)
+    def test_phases_cover_all_traffic(self, apps, code):
+        workload = apps[code]
+        phases = workload.phases()
+        h2d = sum(p.nbytes for p in phases if p.kind == "h2d")
+        d2h = sum(p.nbytes for p in phases if p.kind == "d2h")
+        compute = sum(p.seconds for p in phases if p.kind == "compute")
+        assert h2d == workload.modeled_h2d
+        assert d2h == workload.modeled_d2h
+        assert compute == pytest.approx(workload.compute_seconds)
+
+    def test_calibration_table_complete(self):
+        assert set(RODINIA_COMPUTE_SECONDS) == set(RODINIA_APPS)
+
+    def test_launch_counts_reflect_structure(self, apps):
+        # GS is by far the launch-heaviest app (2 kernels x 2047 pivots).
+        assert apps["GS"].n_launches == max(a.n_launches
+                                            for a in apps.values())
+        assert apps["NN"].n_launches == 1
+
+
+class TestTable4Fidelity:
+    @pytest.mark.parametrize("dim,total_mb", [(2048, 48), (4096, 192),
+                                              (8192, 768), (11264, 1452)])
+    def test_totals(self, dim, total_mb):
+        assert matrix_data_sizes(dim)["total"] == total_mb * MB
+
+    def test_all_sizes_have_both_ops(self):
+        for dim in MATRIX_SIZES:
+            add, mul = MatrixAdd(dim), MatrixMul(dim)
+            assert add.modeled_h2d == mul.modeled_h2d
+            assert mul.compute_seconds > add.compute_seconds
+
+    def test_compute_scaling_laws(self):
+        # Addition O(n^2), multiplication O(n^3).
+        assert (matrix_add_compute_seconds(4096)
+                == pytest.approx(4 * matrix_add_compute_seconds(2048)))
+        assert (matrix_mul_compute_seconds(4096)
+                == pytest.approx(8 * matrix_mul_compute_seconds(2048)))
+
+    def test_largest_problem_fits_gtx580(self):
+        # The paper: sizes beyond 1.5 GB were unmeasurable on the GTX 580.
+        assert matrix_data_sizes(11264)["total"] < 1536 * MB
+        assert matrix_data_sizes(16384)["total"] > 1536 * MB

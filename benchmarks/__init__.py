@@ -1,0 +1,7 @@
+"""Wall-clock benchmarks and the perf-regression gate.
+
+``bench_*.py`` modules are pytest-benchmark suites; ``perf_gate.py``
+(run as ``python -m benchmarks.perf_gate``) executes the simulator
+micro-benchmarks and compares them against the recorded baseline in
+``benchmarks/baselines/simulator_perf.json``.
+"""

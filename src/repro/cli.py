@@ -82,8 +82,11 @@ def cmd_ablations(args) -> int:
 
 def cmd_run(args) -> int:
     from repro.evalkit.harness import run_single
+    from repro.sim.trace import fastpath_counters
+    from repro.system import Machine, MachineConfig
     workload = _workload_by_name(args.workload)
-    result = run_single(workload, args.mode, args.inflation)
+    machine = Machine(MachineConfig(data_inflation=args.inflation))
+    result = run_single(workload, args.mode, args.inflation, machine=machine)
     print(f"{workload.name} on {args.mode}: "
           f"{result.milliseconds:.3f} ms simulated")
     for category, seconds in sorted(result.breakdown.items(),
@@ -91,6 +94,18 @@ def cmd_run(args) -> int:
         print(f"  {category:<16} {seconds * 1e3:10.3f} ms")
     print(f"  launches: {result.actual_launches} functional "
           f"/ {result.modeled_launches} modeled")
+    counters = fastpath_counters(machine)
+    lookups = counters["tlb_hits"] + counters["tlb_misses"]
+    hit_rate = counters["tlb_hits"] / lookups if lookups else 0.0
+    print("  fast path (wall-clock only; no effect on simulated time):")
+    print(f"    tlb: {counters['tlb_hits']} hits / "
+          f"{counters['tlb_misses']} misses ({hit_rate:.1%} hit rate)")
+    print(f"    coalesced runs: {counters['mmu_coalesced_runs']} mmu / "
+          f"{counters['iommu_coalesced_runs']} iommu")
+    print(f"    dma bytes: {counters['dma_bytes_read']} read / "
+          f"{counters['dma_bytes_written']} written")
+    print(f"    zero-copy reads: {counters['phys_zero_copy_bytes']} bytes; "
+          f"pages dropped by cleanse: {counters['phys_pages_dropped']}")
     return 0
 
 

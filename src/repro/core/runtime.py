@@ -38,7 +38,13 @@ from repro.core.key_exchange import (
     dh_bytes_to_int,
     int_to_dh_bytes,
 )
-from repro.crypto.blob import HEADER_LEN, open_blob, seal_blob, sealed_size
+from repro.crypto.blob import (
+    HEADER_LEN,
+    open_blob,
+    seal_blob,
+    seal_blob_into,
+    sealed_size,
+)
 from repro.errors import AttestationError, DriverError, ProtocolError
 from repro.gpu.module import DevPtr, ParamValue
 from repro.osmodel.kernel import Kernel
@@ -50,10 +56,20 @@ from repro.sim.pipeline import pipelined_time
 HostBuffer = Union[bytes, bytearray, np.ndarray]
 
 
-def _as_bytes(data: HostBuffer) -> bytes:
+def _as_buffer(data: HostBuffer) -> memoryview:
+    """A flat byte view of the caller's buffer — zero-copy when possible.
+
+    C-contiguous numpy arrays and bytes-like objects are viewed in
+    place; only non-contiguous arrays pay a copy.
+    """
     if isinstance(data, np.ndarray):
-        return data.tobytes()
-    return bytes(data)
+        if not data.flags.c_contiguous:
+            data = np.ascontiguousarray(data)
+        return memoryview(data).cast("B")
+    view = memoryview(data)
+    if view.ndim != 1 or view.format not in ("B", "b", "c"):
+        view = view.cast("B")
+    return view
 
 
 class HixModuleHandle:
@@ -84,6 +100,7 @@ class HixApi:
         self._end: Optional[ChannelEnd] = None
         self._crypto: Optional[SessionCrypto] = None
         self._ctx_id: Optional[int] = None
+        self._seal_buf: Optional[bytearray] = None  # reused per bulk chunk
         self.user_enclave = process.enclave
 
     # -- timing helpers ----------------------------------------------------------
@@ -175,6 +192,7 @@ class HixApi:
         self._end = None
         self._crypto = None
         self._ctx_id = None
+        self._seal_buf = None
 
     @property
     def ctx_id(self) -> int:
@@ -221,6 +239,13 @@ class HixApi:
     def _bulk_chunk_limit(self) -> int:
         return self._end.region.bulk_capacity - HEADER_LEN
 
+    def _chunk_seal_buf(self) -> bytearray:
+        """Per-session scratch frame reused by every bulk chunk."""
+        capacity = self._end.region.bulk_capacity
+        if self._seal_buf is None or len(self._seal_buf) < capacity:
+            self._seal_buf = bytearray(capacity)
+        return self._seal_buf
+
     def cuMemcpyHtoD(self, dptr: DevPtr, data: HostBuffer) -> None:
         """Single-copy secure host-to-device transfer (Section 4.4.2/4.4.3).
 
@@ -229,22 +254,29 @@ class HixApi:
         straight into device memory, where the in-GPU kernel decrypts it.
         Time is charged as the chunked pipeline of Section 5.2 (encrypt
         overlapping transfer) plus the in-GPU decryption kernel.
+
+        Fast path: the source is chunked through memoryviews (no slice
+        copies) and every chunk is sealed into one reused per-session
+        frame buffer instead of a fresh blob allocation.
         """
-        raw = _as_bytes(data)
+        raw = _as_buffer(data)
+        total = raw.nbytes
         limit = self._bulk_chunk_limit()
+        seal_buf = self._chunk_seal_buf()
         offset = 0
-        while offset < len(raw) or (not raw and offset == 0):
+        while offset < total or (not total and offset == 0):
             chunk = raw[offset:offset + limit]
-            sealed = seal_blob(self._crypto.bulk_suite,
-                               self._crypto.bulk_h2d_nonces, chunk,
-                               associated_data=_bulk_aad(self.ctx_id))
-            self._end.region.write(self._process, BULK_OFFSET, sealed,
-                                   enclave_mode=True)
+            sealed_len = seal_blob_into(
+                self._crypto.bulk_suite, self._crypto.bulk_h2d_nonces,
+                chunk, seal_buf, associated_data=_bulk_aad(self.ctx_id))
+            self._end.region.write(
+                self._process, BULK_OFFSET,
+                memoryview(seal_buf)[:sealed_len], enclave_mode=True)
             self._request({"op": protocol.OP_MEMCPY_HTOD,
                            "gpu_va": dptr.addr + offset,
-                           "blob_len": len(sealed)})
+                           "blob_len": sealed_len})
             offset += len(chunk)
-            if not raw:
+            if not total:
                 break
         if self._costs is not None:
             costs = self._costs
@@ -261,7 +293,8 @@ class HixApi:
     def cuMemcpyDtoH(self, dptr: DevPtr, nbytes: int) -> bytes:
         """Single-copy secure device-to-host transfer."""
         limit = self._bulk_chunk_limit()
-        out = bytearray()
+        out = bytearray(nbytes)
+        view = memoryview(out)
         offset = 0
         while offset < nbytes:
             chunk = min(nbytes - offset, limit)
@@ -273,9 +306,10 @@ class HixApi:
                 raise ProtocolError("unexpected sealed blob size")
             sealed = self._end.region.read(self._process, BULK_OFFSET,
                                            blob_len, enclave_mode=True)
-            out += open_blob(self._crypto.bulk_suite, sealed,
-                             associated_data=_bulk_aad(self.ctx_id),
-                             replay_guard=self._crypto.bulk_d2h_guard)
+            view[offset:offset + chunk] = open_blob(
+                self._crypto.bulk_suite, sealed,
+                associated_data=_bulk_aad(self.ctx_id),
+                replay_guard=self._crypto.bulk_d2h_guard)
             offset += chunk
         if self._costs is not None:
             costs = self._costs

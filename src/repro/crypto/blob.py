@@ -40,6 +40,26 @@ def seal_blob(suite: AeadSuite, nonces: NonceSequence, plaintext: bytes,
     return _HEADER.pack(_MAGIC, nonce, tag, len(ciphertext)) + ciphertext
 
 
+def seal_blob_into(suite: AeadSuite, nonces: NonceSequence, plaintext,
+                   out: bytearray, associated_data: bytes = b"") -> int:
+    """Seal *plaintext* into the reusable buffer *out*; returns frame length.
+
+    The fast path for per-chunk bulk transfers: the frame (header +
+    ciphertext) is assembled in the caller's preallocated buffer instead
+    of concatenating fresh ``bytes`` per chunk, so steady-state sealing
+    allocates only the ciphertext the AEAD engine itself produces.
+    """
+    nonce = nonces.next()
+    ciphertext, tag = suite.seal(nonce, plaintext, associated_data)
+    total = HEADER_LEN + len(ciphertext)
+    if len(out) < total:
+        raise ValueError(
+            f"seal buffer too small: {len(out)} < {total} bytes")
+    _HEADER.pack_into(out, 0, _MAGIC, nonce, tag, len(ciphertext))
+    out[HEADER_LEN:total] = ciphertext
+    return total
+
+
 def parse_blob(raw: bytes) -> Tuple[bytes, bytes, bytes]:
     """Split a frame into (nonce, tag, ciphertext); raises on bad framing."""
     if len(raw) < HEADER_LEN:

@@ -97,6 +97,8 @@ class OCB_AES128:
     def encrypt(self, nonce: bytes, plaintext: bytes,
                 associated_data: bytes = b"") -> Tuple[bytes, bytes]:
         """Return ``(ciphertext, tag)``."""
+        plaintext = bytes(plaintext) if not isinstance(plaintext, bytes) \
+            else plaintext
         offset = self._initial_offset(nonce)
         checksum = bytes(16)
         out = bytearray()
@@ -121,6 +123,8 @@ class OCB_AES128:
     def decrypt(self, nonce: bytes, ciphertext: bytes, tag: bytes,
                 associated_data: bytes = b"") -> bytes:
         """Verify *tag* and return the plaintext; raise IntegrityError on failure."""
+        ciphertext = bytes(ciphertext) if not isinstance(ciphertext, bytes) \
+            else ciphertext
         offset = self._initial_offset(nonce)
         checksum = bytes(16)
         out = bytearray()

@@ -83,24 +83,27 @@ class MmioChannel:
     def aperture_write(self, vram_pa: int, data: bytes) -> None:
         """Programmed-IO write into VRAM through the BAR1 window."""
         bar1 = self._regions["bar1"]
+        view = memoryview(data)
+        length = view.nbytes
         offset = 0
-        while offset < len(data):
+        while offset < length:
             window_base = (vram_pa + offset) & ~(regs.BAR1_SIZE - 1)
             self.reg_write(regs.REG_APERTURE_BASE, window_base, 8)
-            in_window = min(len(data) - offset,
+            in_window = min(length - offset,
                             regs.BAR1_SIZE - (vram_pa + offset - window_base))
             va = bar1.vaddr + (vram_pa + offset - window_base)
             self._kernel.cpu_write(self._process, va,
-                                   data[offset:offset + in_window],
+                                   view[offset:offset + in_window],
                                    enclave_mode=self._enclave_mode)
             offset += in_window
         if self._costs is not None:
-            self._charge(self._costs.h2d_time(len(data), via_mmio=True),
+            self._charge(self._costs.h2d_time(length, via_mmio=True),
                          "copy_mmio")
 
     def aperture_read(self, vram_pa: int, nbytes: int) -> bytes:
         bar1 = self._regions["bar1"]
-        out = bytearray()
+        out = bytearray(nbytes)
+        view = memoryview(out)
         offset = 0
         while offset < nbytes:
             window_base = (vram_pa + offset) & ~(regs.BAR1_SIZE - 1)
@@ -108,8 +111,9 @@ class MmioChannel:
             in_window = min(nbytes - offset,
                             regs.BAR1_SIZE - (vram_pa + offset - window_base))
             va = bar1.vaddr + (vram_pa + offset - window_base)
-            out += self._kernel.cpu_read(self._process, va, in_window,
-                                         enclave_mode=self._enclave_mode)
+            view[offset:offset + in_window] = self._kernel.cpu_read(
+                self._process, va, in_window,
+                enclave_mode=self._enclave_mode)
             offset += in_window
         if self._costs is not None:
             self._charge(self._costs.d2h_time(nbytes, via_mmio=True),
@@ -297,30 +301,47 @@ class GdevDriver:
     def memcpy_h2d(self, handle: GdevContextHandle, gpu_va: int,
                    data: bytes) -> None:
         """Host-to-device copy through the DMA staging buffer (plaintext)."""
+        view = memoryview(data)
+        length = view.nbytes
         offset = 0
-        while offset < len(data):
-            chunk = data[offset:offset + self._staging_size]
+        while offset < length:
+            # Chunks are memoryview slices; nothing is copied on the way
+            # to the staging write (the single-chunk common case passes
+            # the caller's buffer straight through).
+            chunk = view[offset:offset + self._staging_size]
             self._kernel.cpu_write(self._process, self._staging_va, chunk,
                                    enclave_mode=self._enclave_mode)
             self.channel.submit([encode_command(
                 CommandOpcode.MEMCPY_H2D, handle.ctx_id,
-                (self._staging_pa, gpu_va + offset, len(chunk)))])
-            offset += len(chunk)
+                (self._staging_pa, gpu_va + offset, chunk.nbytes))])
+            offset += chunk.nbytes
         if self._costs is not None:
-            self._charge(self._costs.h2d_time(len(data)), "copy_h2d")
+            self._charge(self._costs.h2d_time(length), "copy_h2d")
 
     def memcpy_d2h(self, handle: GdevContextHandle, gpu_va: int,
                    nbytes: int) -> bytes:
-        out = bytearray()
+        if nbytes <= self._staging_size:
+            # Single-chunk fast path: the staging read is the result.
+            self.channel.submit([encode_command(
+                CommandOpcode.MEMCPY_D2H, handle.ctx_id,
+                (gpu_va, self._staging_pa, nbytes))])
+            result = self._kernel.cpu_read(self._process, self._staging_va,
+                                           nbytes,
+                                           enclave_mode=self._enclave_mode)
+            if self._costs is not None:
+                self._charge(self._costs.d2h_time(nbytes), "copy_d2h")
+            return result
+        out = bytearray(nbytes)
+        view = memoryview(out)
         offset = 0
         while offset < nbytes:
             chunk = min(nbytes - offset, self._staging_size)
             self.channel.submit([encode_command(
                 CommandOpcode.MEMCPY_D2H, handle.ctx_id,
                 (gpu_va + offset, self._staging_pa, chunk))])
-            out += self._kernel.cpu_read(self._process, self._staging_va,
-                                         chunk,
-                                         enclave_mode=self._enclave_mode)
+            view[offset:offset + chunk] = self._kernel.cpu_read(
+                self._process, self._staging_va, chunk,
+                enclave_mode=self._enclave_mode)
             offset += chunk
         if self._costs is not None:
             self._charge(self._costs.d2h_time(nbytes), "copy_d2h")

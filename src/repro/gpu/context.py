@@ -59,11 +59,32 @@ class GpuContext:
     dh_private_seed: Optional[bytes] = None
 
     def translate_range(self, gpu_va: int, nbytes: int):
-        """Yield (vram_pa, chunk) pieces covering [gpu_va, gpu_va+nbytes)."""
+        """Yield (vram_pa, chunk) pieces covering [gpu_va, gpu_va+nbytes).
+
+        Physically-contiguous pages (the common case — the driver maps
+        allocations contiguously in VRAM) are coalesced into single runs
+        so copy loops touch VRAM once per extent, not once per page.
+        """
+        entries = self.page_table._entries
         addr = gpu_va
-        remaining = nbytes
-        while remaining:
-            chunk = min(remaining, GPU_PAGE_SIZE - addr % GPU_PAGE_SIZE)
-            yield self.page_table.translate(addr), chunk
+        end = gpu_va + nbytes
+        run_pa = -1
+        run_len = 0
+        while addr < end:
+            offset = addr & (GPU_PAGE_SIZE - 1)
+            chunk = GPU_PAGE_SIZE - offset
+            if addr + chunk > end:
+                chunk = end - addr
+            ppn = entries.get(addr // GPU_PAGE_SIZE)
+            if ppn is None:
+                raise PageFault(f"GPU va {addr:#x} unmapped in this context")
+            vram_pa = ppn * GPU_PAGE_SIZE + offset
+            if run_pa + run_len == vram_pa:
+                run_len += chunk
+            else:
+                if run_len:
+                    yield run_pa, run_len
+                run_pa, run_len = vram_pa, chunk
             addr += chunk
-            remaining -= chunk
+        if run_len:
+            yield run_pa, run_len

@@ -255,7 +255,7 @@ class SimGpu(PcieFunction):
             self._launch(ctx, command.args)
         elif op is CommandOpcode.MEM_CLEANSE:
             gpu_va, nbytes = command.args
-            self.write_ctx(ctx, gpu_va, bytes(nbytes))
+            self.zero_ctx(ctx, gpu_va, nbytes)
             if self._costs is not None:
                 self._charge(self._costs.cleanse_time(nbytes), "gpu_cleanse")
         elif op is CommandOpcode.KEY_EXCHANGE:
@@ -269,16 +269,27 @@ class SimGpu(PcieFunction):
     # -- context-relative memory (what kernels and the copy engine use) --------------
 
     def read_ctx(self, ctx: GpuContext, gpu_va: int, nbytes: int) -> bytes:
-        out = bytearray()
+        out = bytearray(nbytes)
+        view = memoryview(out)
+        pos = 0
         for vram_pa, chunk in ctx.translate_range(gpu_va, nbytes):
-            out += self.vram.read(vram_pa, chunk)
+            self.vram.read_into(vram_pa, view[pos:pos + chunk])
+            pos += chunk
         return bytes(out)
 
-    def write_ctx(self, ctx: GpuContext, gpu_va: int, data: bytes) -> None:
+    def write_ctx(self, ctx: GpuContext, gpu_va: int, data) -> None:
+        view = memoryview(data)
+        if view.ndim != 1 or view.format not in ("B", "b", "c"):
+            view = view.cast("B")
         offset = 0
-        for vram_pa, chunk in ctx.translate_range(gpu_va, len(data)):
-            self.vram.write(vram_pa, data[offset:offset + chunk])
+        for vram_pa, chunk in ctx.translate_range(gpu_va, view.nbytes):
+            self.vram.write(vram_pa, view[offset:offset + chunk])
             offset += chunk
+
+    def zero_ctx(self, ctx: GpuContext, gpu_va: int, nbytes: int) -> None:
+        """Cleanse a context range without materializing VRAM pages."""
+        for vram_pa, chunk in ctx.translate_range(gpu_va, nbytes):
+            self.vram.zero(vram_pa, chunk)
 
     # -- copy engine ------------------------------------------------------------------
 

@@ -10,12 +10,13 @@ raises :class:`~repro.errors.BusError`, the analogue of a master abort.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.errors import BusError
 
 ReadFn = Callable[[int, int], bytes]
 WriteFn = Callable[[int, bytes], None]
+ReadIntoFn = Callable[[int, memoryview], None]
 
 
 @dataclass(frozen=True)
@@ -27,6 +28,7 @@ class Window:
     size: int
     read: ReadFn
     write: WriteFn
+    read_into: Optional[ReadIntoFn] = None  # zero-copy fill, if supported
 
     @property
     def limit(self) -> int:
@@ -41,9 +43,11 @@ class AddressMap:
 
     def __init__(self) -> None:
         self._windows: List[Window] = []
+        self._last: Optional[Window] = None  # single-entry route cache
 
     def add_window(self, name: str, base: int, size: int,
-                   read: ReadFn, write: WriteFn) -> Window:
+                   read: ReadFn, write: WriteFn,
+                   read_into: Optional[ReadIntoFn] = None) -> Window:
         """Claim [base, base+size) for a handler; overlaps are rejected."""
         if size <= 0:
             raise ValueError("window size must be positive")
@@ -52,15 +56,20 @@ class AddressMap:
                 raise ValueError(
                     f"window {name!r} [{base:#x},{base + size:#x}) overlaps "
                     f"{existing.name!r}")
-        window = Window(name, base, size, read, write)
+        window = Window(name, base, size, read, write, read_into)
         self._windows.append(window)
         self._windows.sort(key=lambda w: w.base)
+        self._last = None
         return window
 
     def find(self, paddr: int, length: int = 1) -> Window:
         """Return the window that fully contains the access, or raise."""
+        last = self._last
+        if last is not None and last.contains(paddr, length):
+            return last
         for window in self._windows:
             if window.contains(paddr, length):
+                self._last = window
                 return window
         raise BusError(
             f"physical access [{paddr:#x}, {paddr + length:#x}) hit no window")
@@ -69,7 +78,16 @@ class AddressMap:
         window = self.find(paddr, length)
         return window.read(paddr - window.base, length)
 
-    def write(self, paddr: int, data: bytes) -> None:
+    def read_into(self, paddr: int, buf: memoryview) -> None:
+        """Fill *buf* from [paddr, paddr+len(buf)), zero-copy when the
+        owning window supports it (DRAM does); falls back to read()."""
+        window = self.find(paddr, len(buf))
+        if window.read_into is not None:
+            window.read_into(paddr - window.base, buf)
+        else:
+            buf[:] = window.read(paddr - window.base, len(buf))
+
+    def write(self, paddr: int, data) -> None:
         window = self.find(paddr, len(data))
         window.write(paddr - window.base, data)
 

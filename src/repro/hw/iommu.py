@@ -21,6 +21,8 @@ class Iommu:
     def __init__(self) -> None:
         self._enabled = False
         self._domains: Dict[str, Dict[int, int]] = {}
+        #: Pages merged into contiguous DMA runs (fast-path diagnostics).
+        self.coalesced_runs = 0
 
     @property
     def enabled(self) -> bool:
@@ -58,13 +60,31 @@ class Iommu:
 
     def translate_range(self, bdf: str, io_addr: int,
                         length: int) -> Tuple[Tuple[int, int], ...]:
-        """Translate a range into (paddr, chunk_len) pieces, page by page."""
+        """Translate a range into (paddr, chunk_len) pieces.
+
+        Translation is still page-accurate (the OS can remap any single
+        page), but physically-contiguous neighbours are coalesced into
+        one piece so the DMA engine moves whole extents per host access.
+        The identity/unmapped fast path skips per-page work entirely.
+        """
+        if length < 0:
+            raise ValueError("negative length")
+        if not length:
+            return ()
+        if not self._enabled or not self._domains.get(bdf):
+            # Identity translation: the whole range is one contiguous run.
+            return ((io_addr, length),)
         pieces = []
         addr = io_addr
         remaining = length
         while remaining:
             chunk = min(remaining, PAGE_SIZE - addr % PAGE_SIZE)
-            pieces.append((self.translate(bdf, addr), chunk))
+            paddr = self.translate(bdf, addr)
+            if pieces and pieces[-1][0] + pieces[-1][1] == paddr:
+                pieces[-1] = (pieces[-1][0], pieces[-1][1] + chunk)
+                self.coalesced_runs += 1
+            else:
+                pieces.append((paddr, chunk))
             addr += chunk
             remaining -= chunk
         return tuple(pieces)

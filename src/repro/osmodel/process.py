@@ -20,6 +20,8 @@ class Process:
         self.alive = True
         self.enclave = None  # set by Kernel.load_enclave
         self._va_cursor = KERNEL_VA_BASE if is_kernel else USER_VA_BASE
+        self._ctx_plain: AccessContext | None = None
+        self._ctx_enclave: AccessContext | None = None
 
     def reserve_va(self, nbytes: int, align: int = PAGE_SIZE) -> int:
         """Carve a fresh virtual range out of this process's address space."""
@@ -28,14 +30,26 @@ class Process:
         return cursor
 
     def context(self, enclave_mode: bool = False) -> AccessContext:
-        """The access context this process executes under."""
-        enclave_id = None
-        if enclave_mode:
-            if self.enclave is None:
-                raise ValueError(f"process {self.name} hosts no enclave")
-            enclave_id = self.enclave.enclave_id
-        return AccessContext(asid=self.pid, enclave_id=enclave_id,
-                             is_kernel=self.is_kernel)
+        """The access context this process executes under.
+
+        Contexts are immutable, so the two per-process variants are
+        cached — memory-access hot loops request one per access.
+        """
+        if not enclave_mode:
+            ctx = self._ctx_plain
+            if ctx is None:
+                ctx = self._ctx_plain = AccessContext(
+                    asid=self.pid, enclave_id=None, is_kernel=self.is_kernel)
+            return ctx
+        if self.enclave is None:
+            raise ValueError(f"process {self.name} hosts no enclave")
+        enclave_id = self.enclave.enclave_id
+        ctx = self._ctx_enclave
+        if ctx is None or ctx.enclave_id != enclave_id:
+            ctx = self._ctx_enclave = AccessContext(
+                asid=self.pid, enclave_id=enclave_id,
+                is_kernel=self.is_kernel)
+        return ctx
 
     def __repr__(self) -> str:
         kind = "kernel" if self.is_kernel else "user"

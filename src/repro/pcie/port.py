@@ -33,6 +33,10 @@ class RootPort:
         self.config.subordinate_bus = secondary_bus
         self._devices: Dict[Bdf, PcieFunction] = {}
         self._switches: List[Switch] = []
+        #: Endpoint that claimed the last directly-routed memory TLP
+        #: (None when it was forwarded to a switch) — lets the root
+        #: complex cache the decoded route.
+        self.last_routed_endpoint: Optional[PcieFunction] = None
 
     # -- topology -------------------------------------------------------------
 
@@ -78,6 +82,10 @@ class RootPort:
     def owns_bus(self, bus: int) -> bool:
         return self.config.secondary_bus <= bus <= self.config.subordinate_bus
 
+    def has_direct(self, device: PcieFunction) -> bool:
+        """True if *device* is currently attached straight to this port."""
+        return self._devices.get(device.bdf) is device
+
     def find_function(self, bdf: Bdf) -> Optional[PcieFunction]:
         found = self._devices.get(bdf)
         if found is not None:
@@ -120,12 +128,14 @@ class RootPort:
                 f"[{self.config.memory_base:#x}, {self.config.memory_limit:#x})")
         for device in self._devices.values():
             if device.claims_address(tlp.address, max(tlp.length, 1)):
+                self.last_routed_endpoint = device
                 if tlp.kind is TlpKind.MEM_READ:
                     return device.mem_read(tlp.address, tlp.length)
                 device.mem_write(tlp.address, tlp.data or b"")
                 return b""
         for switch in self._switches:
             if switch.config.window_contains(tlp.address, max(tlp.length, 1)):
+                self.last_routed_endpoint = None
                 return switch.route_mem(tlp)
         raise UnsupportedRequest(
             f"root port {self.bdf}: no device claims {tlp.address:#x}")

@@ -42,6 +42,14 @@ class RootComplex:
         self.rejected_config_writes: List[Tuple[str, int, int, str]] = []
         self.config_writes = 0
         self.config_reads = 0
+        # Decoded-route cache for CPU MMIO: (config_writes stamp, port,
+        # endpoint, bar) of the last successful memory route.  Every hit
+        # is re-validated against the live bridge window and BAR decode,
+        # and the stamp invalidates it on any config-space write (window
+        # or BAR reprogramming), so it only short-circuits the tree and
+        # BAR searches.
+        self._mem_route_cache: Optional[Tuple[int, RootPort, PcieFunction]] = None
+        self._mem_route_bar = None
 
     # -- topology -----------------------------------------------------------
 
@@ -164,19 +172,71 @@ class RootComplex:
                               tlp.value, tlp.requester)
             return b""
         assert tlp.address is not None
+        is_read = tlp.kind is TlpKind.MEM_READ
+        hit, result = self._route_mem_cached(
+            tlp.address, tlp.length if is_read else (tlp.data or b""), is_read)
+        if hit:
+            return result
         for port in self._ports:
             if port.claims_mem(tlp.address, max(tlp.length, 1)):
-                return port.route_mem(tlp)
+                result = port.route_mem(tlp)
+                device = port.last_routed_endpoint
+                if device is not None:
+                    self._mem_route_cache = (self.config_writes, port, device)
+                    self._mem_route_bar = None
+                return result
         raise UnsupportedRequest(
             f"no root port claims memory TLP at {tlp.address:#x}")
+
+    def _route_mem_cached(self, address: int, payload, is_read: bool
+                          ) -> Tuple[bool, bytes]:
+        """Try the decoded-route cache; returns (hit, read_result).
+
+        A hit requires the cache stamp to match (no config write since),
+        the endpoint to still hang directly off the cached port, the
+        port's live bridge window to contain the address, and the
+        endpoint's live BAR decode to claim it — the same checks the
+        full tree walk performs, minus the search.
+        """
+        cached = self._mem_route_cache
+        if cached is None:
+            return False, b""
+        stamp, port, device = cached
+        length = payload if is_read else len(payload)
+        span = length if length > 0 else 1
+        if (stamp != self.config_writes
+                or not port.has_direct(device)
+                or not port.config.window_contains(address, span)):
+            return False, b""
+        bar = self._mem_route_bar
+        if bar is not None and bar.contains(address, span):
+            offset = address - bar.address
+        else:
+            # Different BAR of the same endpoint (or first hit): resolve
+            # via the full live decode and remember the winning BAR.
+            claimed = device.claim(address, span)
+            if claimed is None:
+                return False, b""
+            bar, offset = claimed
+            self._mem_route_bar = bar
+        if is_read:
+            return True, device.bar_read(bar.index, offset, length)
+        device.bar_write(bar.index, offset, payload)
+        return True, b""
 
     # -- AddressMap window handlers (CPU loads/stores to the MMIO hole) --------
 
     def window_read(self, offset: int, length: int) -> bytes:
+        hit, result = self._route_mem_cached(self.mmio_base + offset,
+                                             length, True)
+        if hit:
+            return result
         return self.route(Tlp.mem_read(self.mmio_base + offset, length))
 
     def window_write(self, offset: int, data: bytes) -> None:
-        self.route(Tlp.mem_write(self.mmio_base + offset, data))
+        hit, _ = self._route_mem_cached(self.mmio_base + offset, data, False)
+        if not hit:
+            self.route(Tlp.mem_write(self.mmio_base + offset, data))
 
     # -- measurement -------------------------------------------------------------
 

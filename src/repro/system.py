@@ -103,7 +103,8 @@ class Machine:
         self.phys_mem = PhysicalMemory(self.config.dram_size)
         self.address_map = AddressMap()
         self.address_map.add_window("dram", 0, self.config.dram_size,
-                                    self.phys_mem.read, self.phys_mem.write)
+                                    self.phys_mem.read, self.phys_mem.write,
+                                    read_into=self.phys_mem.read_into)
 
         # CPU security engine: EPC reserved at the top of DRAM.
         epc_base = self.config.dram_size - self.config.epc_size

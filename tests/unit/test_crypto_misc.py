@@ -12,6 +12,7 @@ from repro.crypto.blob import (
 from repro.crypto.dh import DiffieHellman, derive_key, three_party_key
 from repro.crypto.kdf import derive_channel_keys, hkdf_sha256, hmac_sha256
 from repro.crypto.nonce import NonceSequence, ReplayGuard
+from repro.crypto import suite as suite_module
 from repro.crypto.suite import FastAuthSuite, OcbAesSuite, make_suite
 from repro.errors import IntegrityError, ReplayError
 
@@ -59,6 +60,95 @@ class TestSuites:
         c1, _ = suite.seal(b"\x01" * 12, b"same")
         c2, _ = suite.seal(b"\x02" * 12, b"same")
         assert c1 != c2
+
+
+class TestAeadFastPath:
+    """Hardware-backed AEAD dispatch and its pure-Python fallback."""
+
+    def _force_soft(self, suite):
+        suite._hw = None
+        return suite
+
+    @pytest.mark.skipif(suite_module._AESOCB3 is None,
+                        reason="cryptography backend unavailable")
+    def test_ocb_hardware_matches_pure_python(self):
+        """AESOCB3 is the same RFC 7253 construction: outputs bit-match."""
+        hw = OcbAesSuite(KEY)
+        soft = self._force_soft(OcbAesSuite(KEY))
+        for size in (0, 1, 15, 16, 17, 4096):
+            msg, ad = bytes(range(256)) * 16, b"header"
+            ct_hw, tag_hw = hw.seal(b"\x07" * 12, msg[:size], ad)
+            ct_soft, tag_soft = soft.seal(b"\x07" * 12, msg[:size], ad)
+            assert (ct_hw, tag_hw) == (ct_soft, tag_soft)
+            # Cross-open both ways.
+            assert soft.open(b"\x07" * 12, ct_hw, tag_hw, ad) == msg[:size]
+            assert hw.open(b"\x07" * 12, ct_soft, tag_soft, ad) == msg[:size]
+
+    @pytest.mark.skipif(suite_module._AESOCB3 is None,
+                        reason="cryptography backend unavailable")
+    def test_ocb_unusual_nonce_lengths_fall_back(self):
+        """Nonces outside AESOCB3's 12..15-byte window use the soft path."""
+        suite = OcbAesSuite(KEY)
+        ct, tag = suite.seal(b"\x01" * 8, b"data")
+        assert suite.open(b"\x01" * 8, ct, tag) == b"data"
+
+    def test_fast_auth_soft_path_roundtrip_large(self):
+        """The NH-accelerated fallback covers the >=4 KiB tag path."""
+        suite = self._force_soft(FastAuthSuite(KEY))
+        msg = bytes(range(256)) * 256  # 64 KiB
+        ct, tag = suite.seal(b"\x03" * 12, msg, b"ad")
+        assert suite.open(b"\x03" * 12, ct, tag, b"ad") == msg
+
+    def test_fast_auth_soft_path_detects_tampering(self):
+        suite = self._force_soft(FastAuthSuite(KEY))
+        msg = b"\x5A" * (64 << 10)
+        ct, tag = suite.seal(b"\x03" * 12, msg, b"ad")
+        flipped = bytearray(ct)
+        flipped[len(ct) // 2] ^= 1
+        with pytest.raises(IntegrityError):
+            suite.open(b"\x03" * 12, bytes(flipped), tag, b"ad")
+        with pytest.raises(IntegrityError):
+            suite.open(b"\x03" * 12, ct, tag[:-1] + bytes([tag[-1] ^ 1]),
+                       b"ad")
+        with pytest.raises(IntegrityError):
+            suite.open(b"\x03" * 12, ct, tag, b"AD")
+        # A flip in the unaligned tail (outside the NH-compressed prefix)
+        # must also be caught.
+        flipped = bytearray(ct)
+        flipped[-1] ^= 1
+        with pytest.raises(IntegrityError):
+            suite.open(b"\x03" * 12, bytes(flipped), tag, b"ad")
+
+    def test_fast_auth_nh_tags_deterministic_across_instances(self):
+        """NH coefficients derive from the key alone, not instance state."""
+        a = self._force_soft(FastAuthSuite(KEY))
+        b = self._force_soft(FastAuthSuite(KEY))
+        msg = b"\xC3" * (32 << 10)
+        # Warm `a` with a small message first so its coefficient cache
+        # grows in a different order than `b`'s.
+        a.seal(b"\x01" * 12, b"tiny")
+        ct_a, tag_a = a.seal(b"\x02" * 12, msg, b"x")
+        ct_b, tag_b = b.seal(b"\x02" * 12, msg, b"x")
+        assert (ct_a, tag_a) == (ct_b, tag_b)
+
+    def test_fast_auth_small_messages_use_direct_hmac_domain(self):
+        """Small and NH-path tags are domain-separated: both roundtrip."""
+        suite = self._force_soft(FastAuthSuite(KEY))
+        for size in (0, 1, suite_module._NH_MIN - 1, suite_module._NH_MIN):
+            msg = b"\x11" * size
+            ct, tag = suite.seal(b"\x04" * 12, msg, b"ad")
+            assert suite.open(b"\x04" * 12, ct, tag, b"ad") == msg
+
+    @pytest.mark.skipif(suite_module._AESGCM is None,
+                        reason="cryptography backend unavailable")
+    def test_fast_auth_hardware_path_roundtrip_and_tamper(self):
+        suite = FastAuthSuite(KEY)
+        assert suite._hw is not None
+        msg = b"\x42" * (64 << 10)
+        ct, tag = suite.seal(b"\x05" * 12, msg, b"ad")
+        assert suite.open(b"\x05" * 12, ct, tag, b"ad") == msg
+        with pytest.raises(IntegrityError):
+            suite.open(b"\x05" * 12, ct, tag, b"other-ad")
 
 
 class TestDiffieHellman:

@@ -90,3 +90,52 @@ class TestDmaEngine:
         dma.write_host(BDF, 0, b"x" * 50)
         assert dma.bytes_read == 100
         assert dma.bytes_written == 50
+
+    def test_contiguous_pieces_coalesce_into_one_run(self, setup):
+        _, iommu, _ = setup
+        iommu.enable()
+        iommu.map(BDF, 0, 8 * PAGE_SIZE)
+        iommu.map(BDF, PAGE_SIZE, 9 * PAGE_SIZE)  # physically adjacent
+        before = iommu.coalesced_runs
+        pieces = iommu.translate_range(BDF, 0, 2 * PAGE_SIZE)
+        assert pieces == ((8 * PAGE_SIZE, 2 * PAGE_SIZE),)
+        assert iommu.coalesced_runs == before + 1
+
+    def test_write_accepts_buffer_protocol(self, setup):
+        np = pytest.importorskip("numpy")
+        mem, _, dma = setup
+        data = np.arange(64, dtype=np.int32)
+        dma.write_host(BDF, 0x4000, data)
+        assert mem.read(0x4000, data.nbytes) == data.tobytes()
+        assert dma.bytes_written == data.nbytes
+
+
+class TestFaultAccounting:
+    """Mid-transfer faults must not inflate the DMA byte counters."""
+
+    @pytest.fixture
+    def faulting(self):
+        """Second page of the DMA window redirected outside every window."""
+        from repro.errors import BusError
+        mem = PhysicalMemory(64 * PAGE_SIZE)
+        amap = AddressMap()
+        amap.add_window("dram", 0, mem.size, mem.read, mem.write,
+                        read_into=mem.read_into)
+        iommu = Iommu()
+        iommu.enable()
+        iommu.map(BDF, 0, 0)
+        iommu.map(BDF, PAGE_SIZE, 128 * PAGE_SIZE)  # beyond DRAM: faults
+        return mem, DmaEngine(amap, iommu), BusError
+
+    def test_read_counts_only_moved_bytes(self, faulting):
+        _, dma, BusError = faulting
+        with pytest.raises(BusError):
+            dma.read_host(BDF, PAGE_SIZE - 16, 32)
+        assert dma.bytes_read == 16  # first piece landed, second faulted
+
+    def test_write_counts_only_moved_bytes(self, faulting):
+        mem, dma, BusError = faulting
+        with pytest.raises(BusError):
+            dma.write_host(BDF, PAGE_SIZE - 16, b"\xAB" * 32)
+        assert dma.bytes_written == 16
+        assert mem.read(PAGE_SIZE - 16, 16) == b"\xAB" * 16

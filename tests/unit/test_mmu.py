@@ -188,3 +188,136 @@ class TestMultiPageAccess:
 
         mmu.virt_write(pt, _ctx(), VA + PAGE_SIZE - 3, b"zzzzzz", phys_write)
         assert bytes(backing[PAGE_SIZE - 3:PAGE_SIZE + 3]) == b"zzzzzz"
+
+
+class TestTranslateRange:
+    def _mapped_mmu(self, pages=8, flags=USER_RW):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map_range(VA, PA, pages * PAGE_SIZE, flags)
+        return mmu, pt
+
+    def test_contiguous_pages_coalesce_to_one_run(self):
+        mmu, pt = self._mapped_mmu()
+        runs = mmu.translate_range(pt, _ctx(), VA, 8 * PAGE_SIZE,
+                                   AccessType.READ)
+        assert runs == [(PA, 8 * PAGE_SIZE)]
+        assert mmu.range_pages == 8
+        assert mmu.coalesced_runs == 7
+
+    def test_scattered_pages_yield_separate_runs(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        pt.map(VA + PAGE_SIZE, PA + 5 * PAGE_SIZE, USER_RW)
+        runs = mmu.translate_range(pt, _ctx(), VA, 2 * PAGE_SIZE,
+                                   AccessType.READ)
+        assert runs == [(PA, PAGE_SIZE), (PA + 5 * PAGE_SIZE, PAGE_SIZE)]
+
+    def test_unaligned_sub_page_range(self):
+        mmu, pt = self._mapped_mmu()
+        runs = mmu.translate_range(pt, _ctx(), VA + 100, 8, AccessType.READ)
+        assert runs == [(PA + 100, 8)]
+
+    def test_repeats_are_tlb_hits(self):
+        mmu, pt = self._mapped_mmu(pages=4)
+        mmu.translate_range(pt, _ctx(), VA, 4 * PAGE_SIZE, AccessType.READ)
+        assert mmu.tlb.misses == 4
+        for _ in range(3):
+            mmu.translate_range(pt, _ctx(), VA, 4 * PAGE_SIZE,
+                                AccessType.READ)
+        assert mmu.tlb.misses == 4
+        assert mmu.tlb.hits == 12
+
+    def test_validator_fires_on_every_fill_but_not_on_hits(self):
+        mmu, pt = self._mapped_mmu(pages=4)
+        calls = []
+        mmu.set_validator(lambda *args: calls.append(args))
+        mmu.translate_range(pt, _ctx(), VA, 4 * PAGE_SIZE, AccessType.READ)
+        assert len(calls) == 4  # one validated walk per TLB fill
+        mmu.translate_range(pt, _ctx(), VA, 4 * PAGE_SIZE, AccessType.READ)
+        assert len(calls) == 4  # warm repeats never re-enter the walker
+        mmu.tlb.flush_all()
+        mmu.translate_range(pt, _ctx(), VA, 4 * PAGE_SIZE, AccessType.READ)
+        assert len(calls) == 8  # a flush forces re-validation
+
+    def test_validation_failure_propagates(self):
+        mmu, pt = self._mapped_mmu(pages=2)
+
+        def deny(ctx, vaddr, paddr, flags, access):
+            raise TlbValidationError("protected")
+
+        mmu.set_validator(deny)
+        with pytest.raises(TlbValidationError):
+            mmu.translate_range(pt, _ctx(), VA, 2 * PAGE_SIZE,
+                                AccessType.READ)
+
+    def test_remap_after_flush_is_visible_to_repeats(self):
+        mmu, pt = self._mapped_mmu(pages=4)
+        for _ in range(3):  # warm TLB and the range memo
+            mmu.translate_range(pt, _ctx(), VA, 4 * PAGE_SIZE,
+                                AccessType.READ)
+        pt.map(VA + PAGE_SIZE, PA + 9 * PAGE_SIZE, USER_RW)
+        mmu.tlb.flush_page(1, VA + PAGE_SIZE)
+        runs = mmu.translate_range(pt, _ctx(), VA, 4 * PAGE_SIZE,
+                                   AccessType.READ)
+        assert runs == [(PA, PAGE_SIZE),
+                        (PA + 9 * PAGE_SIZE, PAGE_SIZE),
+                        (PA + 2 * PAGE_SIZE, 2 * PAGE_SIZE)]
+
+    def test_write_to_read_only_page_denied(self):
+        mmu, pt = self._mapped_mmu(pages=2, flags=USER_RO)
+        with pytest.raises(AccessDenied):
+            mmu.translate_range(pt, _ctx(), VA, 16, AccessType.WRITE)
+        with pytest.raises(AccessDenied):
+            mmu.translate_range(pt, _ctx(), VA, 2 * PAGE_SIZE,
+                                AccessType.WRITE)
+
+    def test_user_access_to_kernel_page_denied_even_when_warm(self):
+        mmu, pt = self._mapped_mmu(pages=2, flags=KERNEL_RW)
+        mmu.translate_range(pt, _ctx(kernel=True), VA, 2 * PAGE_SIZE,
+                            AccessType.READ)  # fill the TLB as the kernel
+        with pytest.raises(AccessDenied):
+            mmu.translate_range(pt, _ctx(kernel=False), VA, 16,
+                                AccessType.READ)
+        with pytest.raises(AccessDenied):
+            mmu.translate_range(pt, _ctx(kernel=False), VA, 2 * PAGE_SIZE,
+                                AccessType.READ)
+
+    def test_enclave_tag_mismatch_rewalks(self):
+        mmu, pt = self._mapped_mmu(pages=2)
+        calls = []
+        mmu.set_validator(lambda *args: calls.append(args))
+        mmu.translate_range(pt, _ctx(enclave=7), VA, 2 * PAGE_SIZE,
+                            AccessType.READ)
+        mmu.translate_range(pt, _ctx(enclave=None), VA, 2 * PAGE_SIZE,
+                            AccessType.READ)
+        assert len(calls) == 4  # both passes walked (EENTER/EEXIT flush)
+
+    def test_unmapped_page_faults(self):
+        mmu = Mmu()
+        pt = PageTable(asid=1)
+        pt.map(VA, PA, USER_RW)
+        with pytest.raises(PageFault):
+            mmu.translate_range(pt, _ctx(), VA, 2 * PAGE_SIZE,
+                                AccessType.READ)
+
+    def test_empty_range(self):
+        mmu, pt = self._mapped_mmu()
+        assert mmu.translate_range(pt, _ctx(), VA, 0, AccessType.READ) == []
+
+    def test_negative_length_rejected(self):
+        mmu, pt = self._mapped_mmu()
+        with pytest.raises(ValueError):
+            mmu.translate_range(pt, _ctx(), VA, -1, AccessType.READ)
+
+    def test_matches_single_page_translate(self):
+        mmu, pt = self._mapped_mmu(pages=4)
+        runs = mmu.translate_range(pt, _ctx(), VA + 5, 3 * PAGE_SIZE,
+                                   AccessType.READ)
+        flat = []
+        for paddr, chunk in runs:
+            flat.extend(range(paddr, paddr + chunk))
+        expected = [mmu.translate(pt, _ctx(), VA + 5 + i, AccessType.READ)
+                    for i in range(0, 3 * PAGE_SIZE, PAGE_SIZE)]
+        assert [flat[i] for i in range(0, 3 * PAGE_SIZE, PAGE_SIZE)] == expected

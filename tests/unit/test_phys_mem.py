@@ -68,3 +68,65 @@ class TestPhysicalMemory:
         mem = PhysicalMemory(4 * PAGE_SIZE)
         mem.write(0, b"")
         assert mem.resident_pages() == 0
+
+
+MB = 1 << 20
+
+
+class TestFastPath:
+    """Zero-copy APIs and the page-dropping cleanse."""
+
+    def test_cleanse_of_untouched_region_materializes_nothing(self):
+        mem = PhysicalMemory(16 * MB)
+        mem.zero(2 * MB, MB)
+        assert mem.resident_pages() == 0
+
+    def test_cleanse_drops_resident_backing(self):
+        mem = PhysicalMemory(16 * MB)
+        mem.write(2 * MB, b"\xAA" * MB)
+        resident = mem.resident_pages()
+        assert resident > 0
+        mem.zero(2 * MB, MB)
+        assert mem.resident_pages() == 0
+        assert mem.pages_dropped == resident
+        assert mem.read(2 * MB, MB) == bytes(MB)
+
+    def test_cleanse_keeps_partially_covered_edges_resident(self):
+        mem = PhysicalMemory(16 * MB)
+        mem.write(0, b"\xAA" * MB)
+        before = mem.resident_pages()
+        mem.zero(100, MB - 200)  # leaves both edge extents partly live
+        assert mem.resident_pages() < before
+        assert mem.read(0, 100) == b"\xAA" * 100
+        assert mem.read(100, MB - 200) == bytes(MB - 200)
+        assert mem.read(MB - 100, 100) == b"\xAA" * 100
+
+    def test_read_into_fills_caller_buffer(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        mem.write(PAGE_SIZE - 8, b"spanning-pages")
+        buf = bytearray(14)
+        mem.read_into(PAGE_SIZE - 8, buf)
+        assert bytes(buf) == b"spanning-pages"
+        assert mem.zero_copy_bytes >= 14
+
+    def test_views_cover_absent_and_present_ranges(self):
+        mem = PhysicalMemory(16 * MB)
+        mem.write(0, b"\x11" * 16)
+        got = b"".join(bytes(v) for v in mem.views(0, 2 * MB))
+        assert got[:16] == b"\x11" * 16
+        assert got[16:] == bytes(2 * MB - 16)
+        # Serving the absent middle never materialized backing storage.
+        assert mem.resident_pages() == 1
+
+    def test_views_are_read_only(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        view = next(mem.views(0, 16))
+        with pytest.raises(TypeError):
+            view[0] = 1
+
+    def test_write_accepts_buffer_protocol_objects(self):
+        np = pytest.importorskip("numpy")
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        data = np.arange(256, dtype=np.int32)
+        mem.write(64, data)
+        assert mem.read(64, data.nbytes) == data.tobytes()

@@ -1,9 +1,10 @@
 """Perf-regression gate over the simulator micro-benchmarks.
 
-Runs ``benchmarks/bench_simulator_perf.py`` (via pytest-benchmark),
-compares each benchmark's best (minimum) time against the recorded
-baseline in ``benchmarks/baselines/simulator_perf.json``, and reports
-any that exceed the tolerance band.
+Runs the micro-benchmark suites in :data:`BENCH_FILES` (via
+pytest-benchmark), compares each benchmark's best (minimum) time
+against the recorded baseline in
+``benchmarks/baselines/simulator_perf.json``, and reports any that
+exceed the tolerance band.
 
 Usage::
 
@@ -34,7 +35,12 @@ from pathlib import Path
 from typing import Dict
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = Path(__file__).resolve().parent / "bench_simulator_perf.py"
+#: Every file here feeds one shared baseline; add new suites to the
+#: list and re-record with ``--update-baseline``.
+BENCH_FILES = [
+    Path(__file__).resolve().parent / "bench_simulator_perf.py",
+    Path(__file__).resolve().parent / "bench_serve.py",
+]
 BASELINE_FILE = (Path(__file__).resolve().parent
                  / "baselines" / "simulator_perf.json")
 
@@ -53,7 +59,8 @@ def run_benchmarks() -> Dict[str, float]:
         env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
                              if env.get("PYTHONPATH") else src)
         proc = subprocess.run(
-            [sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
+            [sys.executable, "-m", "pytest",
+             *(str(path) for path in BENCH_FILES), "-q",
              "--benchmark-only", f"--benchmark-json={json_path}"],
             cwd=REPO_ROOT, env=env,
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)

@@ -26,6 +26,7 @@ from repro.core.runtime import HixApi
 from repro.gdev.api import GdevApi
 from repro.gdev.driver import GdevDriver
 from repro.gpu.module import DevPtr
+from repro.serve import ServeEngine, TenantQuota
 from repro.sim.costs import CostModel
 from repro.system import Machine, MachineConfig
 
@@ -40,5 +41,7 @@ __all__ = [
     "GdevApi",
     "GdevDriver",
     "DevPtr",
+    "ServeEngine",
+    "TenantQuota",
     "__version__",
 ]

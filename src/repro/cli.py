@@ -7,6 +7,7 @@ Gives downstream users one entry point to every experiment::
     python -m repro attacks                # the Section 5.5 attack matrix
     python -m repro ablations              # design-choice ablations
     python -m repro run pathfinder --mode hix   # one workload, w/ breakdown
+    python -m repro serve --users 4        # multi-tenant serving demo
     python -m repro list                   # available workloads
 """
 
@@ -109,6 +110,27 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve N tenants through the sealed path and report the schedule."""
+    from repro.evalkit.serve_sweep import (
+        fair_crosscheck,
+        serve_figure,
+        serve_run,
+    )
+    workload = _workload_by_name(args.workload)
+    report = serve_run(workload, args.users, scheduler=args.scheduler,
+                       inflation=args.inflation)
+    print(report.render())
+    if args.users > 1:
+        print()
+        users = sorted({1, max(args.users // 2, 1), args.users})
+        print(serve_figure(workload, users=users, scheduler=args.scheduler,
+                           inflation=args.inflation).render())
+        print()
+        print(fair_crosscheck(workload, args.users).render())
+    return 0
+
+
 def cmd_costs(args) -> int:
     from dataclasses import fields
     from repro.sim.costs import CostModel
@@ -193,6 +215,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mode", choices=["gdev", "hix"], default="hix")
     run.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
     run.set_defaults(fn=cmd_run)
+
+    serve = sub.add_parser(
+        "serve", help="multi-tenant serving demo (Figures 8/9 through "
+        "the sealed protocol path)")
+    serve.add_argument("--users", type=int, default=4)
+    serve.add_argument("--workload", default="backprop")
+    serve.add_argument("--scheduler",
+                       choices=["fifo", "round-robin", "fair"],
+                       default="fair")
+    serve.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
+    serve.set_defaults(fn=cmd_serve)
 
     sub.add_parser("list", help="list available workloads").set_defaults(
         fn=cmd_list)

@@ -17,7 +17,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, QueueFullError
 from repro.hw.phys_mem import PAGE_SIZE
 from repro.osmodel.kernel import Kernel
 from repro.osmodel.process import Process
@@ -40,14 +40,30 @@ class Notification:
 
 
 class MessageQueue:
-    """Kernel-mediated notification queue (fully attacker-visible)."""
+    """Kernel-mediated notification queue (fully attacker-visible).
 
-    def __init__(self, name: str) -> None:
+    Real kernel message queues have a bounded backlog; *capacity* models
+    it.  An enqueue on a full queue raises :class:`QueueFullError` — a
+    first-class :class:`ProtocolError` subclass the serving layer
+    translates into backpressure rather than silently dropping or
+    unboundedly buffering notifications.  ``capacity=None`` (the
+    default) keeps the historical unbounded behaviour.
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("queue capacity must be >= 1 (or None)")
         self.name = name
+        self.capacity = capacity
         self.entries: Deque[Notification] = deque()
         self.sent = 0
+        self.rejected = 0
 
     def send(self, kind: str, offset: int, length: int) -> None:
+        if self.capacity is not None and len(self.entries) >= self.capacity:
+            self.rejected += 1
+            raise QueueFullError(
+                f"queue {self.name!r} full ({self.capacity} entries)")
         self.entries.append(Notification(kind, offset, length))
         self.sent += 1
 

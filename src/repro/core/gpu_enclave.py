@@ -167,15 +167,23 @@ class GpuEnclaveService:
 
     # ------------------------------------------------------- channel plumbing
 
-    def open_channel(self, user_process: Process) -> ChannelEnd:
-        """Provision the untrusted media for one user enclave."""
+    def open_channel(self, user_process: Process,
+                     queue_depth: Optional[int] = None) -> ChannelEnd:
+        """Provision the untrusted media for one user enclave.
+
+        *queue_depth* bounds both notification queues; a full queue
+        raises :class:`~repro.errors.QueueFullError` on send, which the
+        serving layer surfaces as backpressure.
+        """
         region = SharedMemoryRegion(self._kernel, self._region_size)
         region.attach(user_process)
         region.attach(self.process)
         return ChannelEnd(
             region=region,
-            to_service=MessageQueue(f"to-service:{user_process.pid}"),
-            to_user=MessageQueue(f"to-user:{user_process.pid}"),
+            to_service=MessageQueue(f"to-service:{user_process.pid}",
+                                    capacity=queue_depth),
+            to_user=MessageQueue(f"to-user:{user_process.pid}",
+                                 capacity=queue_depth),
             user_process=user_process,
         )
 
@@ -260,15 +268,16 @@ class GpuEnclaveService:
                         associated_data=protocol.REQUEST_AAD,
                         replay_guard=session.crypto.request_guard)
         request = protocol.decode_message(raw)
-        op = protocol.check_request(request)
         try:
+            op = protocol.check_request(request)
             result = self._dispatch(session, op, request)
         except DriverError as exc:
-            # Request-level failures (allocation, bad pointers, device
-            # faults) are reported back to the user enclave as sealed
-            # error replies; authentication failures above still raise —
+            # Request-level failures — unknown ops, allocation, bad
+            # pointers, device faults — are reported back to the user
+            # enclave as structured sealed error replies (the session
+            # stays live); authentication failures above still raise —
             # those are attacks, not requests.
-            result = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            result = protocol.error_reply(exc)
         reply = seal_blob(session.crypto.reply_suite,
                           session.crypto.reply_nonces,
                           protocol.encode_message(result),

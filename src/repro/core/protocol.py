@@ -13,7 +13,12 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
-from repro.errors import ProtocolError
+from repro.errors import (
+    GpuUnavailable,
+    OutOfDeviceMemory,
+    ProtocolError,
+    UnknownOperation,
+)
 
 # Nonce channel ids (must match repro.gpu.device for the bulk channels).
 CH_BULK_H2D = 1   # user enclave -> GPU (sealed blobs through shared memory)
@@ -39,6 +44,16 @@ ALL_OPS = frozenset({
     OP_MEMCPY_DTOH, OP_MEMCPY_HTOD, OP_MODULE_LOAD, OP_SHUTDOWN,
 })
 
+# Machine-readable error codes carried in structured error replies.
+# An authenticated-but-invalid request never crashes the service: the
+# GPU enclave answers with ``{"ok": False, "code": ..., "error": ...}``
+# and keeps serving the session.
+ERR_UNKNOWN_OP = "unknown_op"     # op outside ALL_OPS
+ERR_PROTOCOL = "protocol"         # malformed/ill-sequenced request body
+ERR_RESOURCES = "resources"       # device memory / quota exhaustion
+ERR_UNAVAILABLE = "unavailable"   # GPU enclave shut down mid-session
+ERR_DRIVER = "driver"             # any other request-level driver fault
+
 
 def encode_message(payload: Dict[str, Any]) -> bytes:
     """Deterministically serialize a control message."""
@@ -62,8 +77,27 @@ def decode_message(raw: bytes) -> Dict[str, Any]:
 def check_request(payload: Dict[str, Any]) -> str:
     op = payload.get("op")
     if op not in ALL_OPS:
-        raise ProtocolError(f"unknown request op {op!r}")
+        raise UnknownOperation(f"unknown request op {op!r}")
     return op
+
+
+def error_code_for(exc: Exception) -> str:
+    """Map a request-level fault onto its wire error code."""
+    if isinstance(exc, UnknownOperation):
+        return ERR_UNKNOWN_OP
+    if isinstance(exc, ProtocolError):
+        return ERR_PROTOCOL
+    if isinstance(exc, OutOfDeviceMemory):
+        return ERR_RESOURCES
+    if isinstance(exc, GpuUnavailable):
+        return ERR_UNAVAILABLE
+    return ERR_DRIVER
+
+
+def error_reply(exc: Exception) -> Dict[str, Any]:
+    """The structured error reply for a failed (but authentic) request."""
+    return {"ok": False, "code": error_code_for(exc),
+            "error": f"{type(exc).__name__}: {exc}"}
 
 
 # -- launch-parameter marshalling (JSON-safe) ---------------------------------

@@ -45,7 +45,12 @@ from repro.crypto.blob import (
     seal_blob_into,
     sealed_size,
 )
-from repro.errors import AttestationError, DriverError, ProtocolError
+from repro.errors import (
+    AttestationError,
+    DriverError,
+    ProtocolError,
+    RequestRejected,
+)
 from repro.gpu.module import DevPtr, ParamValue
 from repro.osmodel.kernel import Kernel
 from repro.osmodel.process import Process
@@ -89,13 +94,15 @@ class HixApi:
                  service: GpuEnclaveService, clock: Optional[SimClock] = None,
                  costs: Optional[CostModel] = None,
                  expected_gpu_enclave_measurement: Optional[bytes] = None,
-                 suite_name: str = "fast-auth") -> None:
+                 suite_name: str = "fast-auth",
+                 channel_queue_depth: Optional[int] = None) -> None:
         self._kernel = kernel
         self._process = process
         self._service = service
         self._clock = clock
         self._costs = costs
         self._suite_name = suite_name
+        self._channel_queue_depth = channel_queue_depth
         self._expected_measurement = expected_gpu_enclave_measurement
         self._end: Optional[ChannelEnd] = None
         self._crypto: Optional[SessionCrypto] = None
@@ -112,9 +119,7 @@ class HixApi:
     def _rpc_overhead(self) -> None:
         if self._costs is None:
             return
-        costs = self._costs
-        self._charge(2 * costs.msgqueue_hop + 2 * costs.enclave_transition
-                     + 2 * costs.cpu_aead_setup_latency, "ipc")
+        self._charge(self._costs.rpc_round_trip(), "ipc")
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -141,7 +146,8 @@ class HixApi:
         if self._costs is not None:
             self._charge(self._costs.hix_task_init, "task_init")
             self._charge(self._costs.session_setup, "session_setup")
-        end = self._service.open_channel(self._process)
+        end = self._service.open_channel(
+            self._process, queue_depth=self._channel_queue_depth)
         user_eid = self._process.enclave.enclave_id
         sgx = self._kernel.sgx
 
@@ -224,7 +230,9 @@ class HixApi:
             associated_data=protocol.REPLY_AAD,
             replay_guard=self._crypto.reply_guard))
         if not reply.get("ok"):
-            raise DriverError(f"GPU enclave rejected request: {reply!r}")
+            raise RequestRejected(
+                f"GPU enclave rejected request: {reply!r}",
+                code=str(reply.get("code", protocol.ERR_DRIVER)))
         return reply
 
     # -- memory ---------------------------------------------------------------------------

@@ -133,3 +133,45 @@ class GpuUnavailable(DriverError):
 
 class ProtocolError(DriverError):
     """Malformed or out-of-order inter-enclave request."""
+
+
+class UnknownOperation(ProtocolError):
+    """A sealed request named an op outside ``protocol.ALL_OPS``."""
+
+
+class QueueFullError(ProtocolError):
+    """A bounded message queue refused an enqueue (channel backlog)."""
+
+
+class RequestRejected(DriverError):
+    """The GPU enclave returned a structured error reply.
+
+    Carries the reply's machine-readable ``code`` alongside the human
+    message, so upper layers (the serving engine) can translate specific
+    rejections — resource exhaustion, unknown ops — into their own
+    flow-control semantics.
+    """
+
+    def __init__(self, message: str, code: str = "driver") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer errors (repro.serve)
+# ---------------------------------------------------------------------------
+
+class ServeError(DriverError):
+    """Base class for multi-tenant serving-layer failures."""
+
+
+class AdmissionError(ServeError):
+    """A tenant, session, or allocation was denied by quota/admission."""
+
+
+class BackpressureError(ServeError):
+    """A tenant's request queue is full — caller must retry later."""
+
+
+class RequestTimeout(ServeError):
+    """A queued request exceeded its deadline before being served."""

@@ -5,12 +5,20 @@
 * :mod:`repro.evalkit.figures` — Figures 6-9 series generators.
 * :mod:`repro.evalkit.tables` — Tables 1-5.
 * :mod:`repro.evalkit.security` — the Section 5.5 attack matrix, executed.
+* :mod:`repro.evalkit.serve_sweep` — Figures 8/9 concurrency curves
+  reproduced through the multi-tenant serving engine (sealed path).
 * :mod:`repro.evalkit.report` — plain-text rendering shared by the
   benchmark harness and EXPERIMENTS.md generation.
 """
 
 from repro.evalkit.harness import RunResult, run_multiuser, run_single
 from repro.evalkit.report import render_series, render_table
+from repro.evalkit.serve_sweep import (
+    CrosscheckResult,
+    fair_crosscheck,
+    serve_figure,
+    serve_run,
+)
 from repro.evalkit.sweeps import SweepResult, sweep_cost_parameter
 from repro.evalkit.validation import ValidationReport, validate_reproduction
 
@@ -18,6 +26,10 @@ __all__ = [
     "run_single",
     "run_multiuser",
     "RunResult",
+    "serve_run",
+    "serve_figure",
+    "fair_crosscheck",
+    "CrosscheckResult",
     "render_table",
     "render_series",
     "sweep_cost_parameter",

@@ -69,15 +69,13 @@ class _CountingApi:
 
 
 def per_launch_overhead(costs: CostModel, mode: str) -> float:
-    """Driver-visible cost of one kernel launch, beyond GPU compute."""
-    if mode == GDEV:
-        # ioctl + param-buffer DMA + FIFO kick + status poll.
-        return (costs.kernel_launch_gdev + costs.dma_setup_latency
-                + 4 * costs.mmio_reg_latency)
-    # HIX: sealed request round-trip + trusted-MMIO param write.
-    rpc = (2 * costs.msgqueue_hop + 2 * costs.enclave_transition
-           + 2 * costs.cpu_aead_setup_latency)
-    return (costs.kernel_launch_hix + rpc + 4 * costs.mmio_reg_latency)
+    """Driver-visible cost of one kernel launch, beyond GPU compute.
+
+    Delegates to :meth:`CostModel.launch_overhead` so the serving
+    layer's job builder and this harness charge elided launches from
+    one formula.
+    """
+    return costs.launch_overhead(mode)
 
 
 def run_single(workload: Workload, mode: str,

@@ -1,0 +1,66 @@
+"""Multi-tenant GPU-enclave serving layer (repro.serve).
+
+Turns the single GPU enclave of the core reproduction into a
+multi-tenant server driven through the existing sealed protocol:
+
+* :mod:`~repro.serve.session` — admission control and per-tenant quotas
+  (contexts, device-memory budget, in-flight cap, queue depth, weight);
+* :mod:`~repro.serve.queues` — bounded request queues with explicit
+  backpressure and timeout semantics;
+* :mod:`~repro.serve.scheduler` — pluggable GPU-engine arbitration
+  (FIFO, round-robin, deficit-weighted fair);
+* :mod:`~repro.serve.timeline` — the virtual-time multiplexing core,
+  FIFO-equivalent to the analytic ``multiuser.simulate_concurrent``;
+* :mod:`~repro.serve.engine` — the driver loop that executes real
+  sealed requests for N tenants and schedules them on one device;
+* :mod:`~repro.serve.jobs` — workloads decomposed into request streams.
+"""
+
+from repro.serve.engine import (
+    GPU_ENGINE_CATEGORIES,
+    ServeEngine,
+    ServeReport,
+    TenantClient,
+    TenantReport,
+)
+from repro.serve.queues import RequestQueue, ServeRequest
+from repro.serve.scheduler import (
+    SCHEDULER_NAMES,
+    DeficitFairScheduler,
+    FifoScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.serve.session import SessionTable, TenantQuota, TenantRecord
+from repro.serve.timeline import (
+    MultiplexResult,
+    TenantLane,
+    WorkUnit,
+    multiplex,
+    schedule_segments,
+)
+
+__all__ = [
+    "GPU_ENGINE_CATEGORIES",
+    "ServeEngine",
+    "ServeReport",
+    "TenantClient",
+    "TenantReport",
+    "RequestQueue",
+    "ServeRequest",
+    "SCHEDULER_NAMES",
+    "DeficitFairScheduler",
+    "FifoScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "make_scheduler",
+    "SessionTable",
+    "TenantQuota",
+    "TenantRecord",
+    "MultiplexResult",
+    "TenantLane",
+    "WorkUnit",
+    "multiplex",
+    "schedule_segments",
+]

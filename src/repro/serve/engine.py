@@ -1,0 +1,413 @@
+"""The serving engine: N user enclaves multiplexed through one GPU enclave.
+
+This is the tentpole of the serving layer.  Each admitted tenant gets a
+real attested session against the shared :class:`GpuEnclaveService` —
+its own user enclave, 3-party key exchange, sealed channel, and bounded
+message queues — and submits :class:`ServeRequest` callables into its
+bounded request queue.  The engine then runs a *two-level* execution:
+
+1. **Production (real).**  Requests execute one at a time on the shared
+   machine: real bytes move, real AEAD seals/opens run, the GPU enclave
+   dispatches real driver operations.  The simulated time each request
+   charges is measured via clock snapshots and split into
+   GPU-engine-exclusive seconds (compute, dispatch, in-GPU crypto) vs
+   overlappable host seconds using :meth:`TimeBreakdown.split`.
+
+2. **Scheduling (virtual).**  The measured ``(host, gpu)`` durations are
+   replayed on the virtual multi-tenant timeline of
+   :mod:`repro.serve.timeline`: host work of different tenants overlaps,
+   GPU visits serialize on one engine under the configured scheduler,
+   and ``costs.gpu_context_switch`` is charged on every owner change.
+   The device's own ``gpu_ctx_switch`` charges from the serial
+   production order are excluded from the measurements so switches are
+   charged exactly once, by the schedule that actually decides them.
+
+Timeout semantics are a modeling choice worth stating: a request whose
+GPU visit expires on the virtual timeline already executed functionally
+at production time (its allocations, transfers, and kernel effects
+persist), but its engine seconds are *not* charged to the makespan —
+the served/timed-out accounting reflects what a real serving loop would
+have admitted to the engine, while functional state reflects the sealed
+protocol's actual execution.
+
+Under concurrent service the in-GPU crypto kernels run on per-chunk
+batches too small to fill the SMs, so their measured engine seconds are
+derated by ``costs.gpu_aead_multiuser_efficiency`` whenever more than
+one tenant is admitted (Section 5.4) — the same assumption the analytic
+Figures 8/9 model bakes into its crypto segments, which keeps the two
+paths cross-checkable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.errors import (
+    AdmissionError,
+    DriverError,
+    QueueFullError,
+    RequestRejected,
+)
+from repro.serve.queues import (
+    BACKPRESSURE,
+    DENIED,
+    FAILED,
+    SERVED,
+    TIMEOUT,
+    RequestQueue,
+    ServeRequest,
+)
+from repro.serve.scheduler import Scheduler, make_scheduler
+from repro.serve.session import SessionTable, TenantQuota, TenantRecord
+from repro.serve.timeline import TenantLane, WorkUnit, multiplex
+from repro.sim.clock import TimeBreakdown
+from repro.sim.trace import TraceEvent, render_lanes
+
+#: Clock categories that occupy the GPU execution engine exclusively.
+#: Everything else (ipc, copy pipelines, launches, mmio, session setup,
+#: serve dispatch) is host-side work that overlaps across tenants.
+GPU_ENGINE_CATEGORIES = frozenset({"gpu_compute", "gpu_dispatch",
+                                   "crypto_gpu"})
+
+_UNSET = object()
+
+
+class _GuardedApi:
+    """Quota-enforcing facade over a tenant's :class:`HixApi`.
+
+    Device-memory allocations are charged against the tenant's budget in
+    the session table *before* the sealed request is built — a denial
+    never reaches the GPU enclave, it is pure serving-layer policy.
+    """
+
+    def __init__(self, api, table: SessionTable, record: TenantRecord,
+                 tokens: Iterator[int]) -> None:
+        self._api = api
+        self._table = table
+        self._record = record
+        self._tokens = tokens
+        self._handles: Dict[int, int] = {}
+
+    def cuMemAlloc(self, nbytes: int):
+        token = next(self._tokens)
+        self._table.charge_memory(self._record, token, nbytes)
+        try:
+            dptr = self._api.cuMemAlloc(nbytes)
+        except DriverError:
+            self._table.release_memory(self._record, token)
+            raise
+        self._handles[dptr.addr] = token
+        return dptr
+
+    def cuMemFree(self, dptr) -> None:
+        self._api.cuMemFree(dptr)
+        token = self._handles.pop(dptr.addr, None)
+        if token is not None:
+            self._table.release_memory(self._record, token)
+
+    def __getattr__(self, name: str):
+        return getattr(self._api, name)
+
+
+class TenantClient:
+    """One tenant's handle on the serving engine.
+
+    Holds the bounded request queue (submission side) and, once the
+    engine runs, the tenant's real attested API session.  Several
+    clients may share one tenant name — they then share the tenant's
+    quota and each consumes one of its ``max_contexts``.
+    """
+
+    def __init__(self, name: str, record: TenantRecord) -> None:
+        self.name = name
+        self.record = record
+        self.queue = RequestQueue(record.quota.max_queue_depth)
+        self.requests: List[ServeRequest] = []
+        self.api: Optional[_GuardedApi] = None
+        self.admission_error: Optional[str] = None
+
+    def submit(self, label: str, fn: Callable[[Any], Any],
+               timeout: Any = _UNSET,
+               extra_host_seconds: float = 0.0) -> ServeRequest:
+        """Queue one request; raises :class:`BackpressureError` if full.
+
+        *timeout* defaults to the tenant quota's ``request_timeout``;
+        pass ``None`` explicitly to exempt a single request.
+        """
+        if timeout is _UNSET:
+            timeout = self.record.quota.request_timeout
+        request = ServeRequest(label=label, fn=fn, timeout=timeout,
+                               extra_host_seconds=extra_host_seconds)
+        self.queue.submit(request)
+        self.requests.append(request)
+        return request
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for request in self.requests:
+            counts[request.outcome] = counts.get(request.outcome, 0) + 1
+        return counts
+
+
+@dataclass
+class TenantReport:
+    """Per-tenant serving metrics, all in simulated/virtual seconds."""
+
+    name: str
+    submitted: int
+    rejected_submits: int
+    served: int
+    timed_out: int
+    denied: int
+    backpressured: int
+    failed: int
+    finish_time: float
+    gpu_busy: float
+    host_busy: float
+    waits: float
+    stall_seconds: float
+    peak_memory: int
+    quota_denials: int
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one :meth:`ServeEngine.run`."""
+
+    scheduler: str
+    makespan: float
+    context_switches: int
+    gpu_utilization: float
+    tenants: List[TenantReport]
+    lanes: Dict[str, List[TraceEvent]] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> TenantReport:
+        for report in self.tenants:
+            if report.name == name:
+                return report
+        raise KeyError(name)
+
+    def render(self, width: int = 60) -> str:
+        lines = [
+            f"serve: {len(self.tenants)} tenant(s), "
+            f"scheduler={self.scheduler}, "
+            f"makespan={self.makespan * 1e3:.3f} ms, "
+            f"ctx_switches={self.context_switches}, "
+            f"gpu_util={self.gpu_utilization:.1%}",
+        ]
+        header = (f"{'tenant':>12} {'srv':>4} {'t/o':>4} {'den':>4} "
+                  f"{'bp':>4} {'fail':>4} {'finish_ms':>10} "
+                  f"{'gpu_ms':>8} {'wait_ms':>8}")
+        lines.append(header)
+        for t in self.tenants:
+            lines.append(
+                f"{t.name:>12} {t.served:>4} {t.timed_out:>4} "
+                f"{t.denied:>4} {t.backpressured:>4} {t.failed:>4} "
+                f"{t.finish_time * 1e3:>10.3f} {t.gpu_busy * 1e3:>8.3f} "
+                f"{t.waits * 1e3:>8.3f}")
+        if self.lanes:
+            lines.append(render_lanes(self.lanes, width=width))
+        return "\n".join(lines)
+
+
+class ServeEngine:
+    """Multi-tenant serving loop over one GPU enclave."""
+
+    def __init__(self, machine, service=None,
+                 scheduler: Union[str, Scheduler] = "fair",
+                 max_tenants: int = 8,
+                 default_quota: Optional[TenantQuota] = None,
+                 crypto_efficiency: Optional[float] = None,
+                 channel_queue_depth: int = 4) -> None:
+        self._machine = machine
+        self._service = service if service is not None else machine.boot_hix()
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler, machine.costs)
+        self._scheduler = scheduler
+        self.table = SessionTable(max_tenants=max_tenants,
+                                  default_quota=default_quota)
+        self._clients: List[TenantClient] = []
+        self._alloc_tokens = itertools.count(1)
+        self._crypto_efficiency = crypto_efficiency
+        self._channel_queue_depth = channel_queue_depth
+
+    @property
+    def service(self):
+        return self._service
+
+    @property
+    def clients(self) -> List[TenantClient]:
+        return list(self._clients)
+
+    def add_tenant(self, name: str,
+                   quota: Optional[TenantQuota] = None) -> TenantClient:
+        """Admit *name* (or attach another client to an admitted tenant)."""
+        record = self.table.admit(name, quota)
+        client = TenantClient(name, record)
+        self._clients.append(client)
+        return client
+
+    # -- measurement -------------------------------------------------------
+
+    def _resolve_crypto_efficiency(self) -> float:
+        if self._crypto_efficiency is not None:
+            return self._crypto_efficiency
+        if len({c.name for c in self._clients}) > 1:
+            return self._machine.costs.gpu_aead_multiuser_efficiency
+        return 1.0
+
+    def _split(self, elapsed: TimeBreakdown, crypto_eff: float):
+        """Measured charge -> (host_seconds, gpu_engine_seconds).
+
+        The production order's incidental ``gpu_ctx_switch`` charges are
+        dropped entirely: the virtual schedule charges switches itself,
+        from the owner changes it actually decides.
+        """
+        gpu, host = elapsed.split(GPU_ENGINE_CATEGORIES)
+        host -= elapsed.by_category.get("gpu_ctx_switch", 0.0)
+        if crypto_eff < 1.0:
+            crypto = elapsed.by_category.get("crypto_gpu", 0.0)
+            gpu += crypto * (1.0 / crypto_eff - 1.0)
+        return max(host, 0.0), max(gpu, 0.0)
+
+    # -- execution ---------------------------------------------------------
+
+    def _unit_stream(self, client: TenantClient,
+                     crypto_eff: float) -> Iterator[WorkUnit]:
+        """Lazy request execution: pulled by the virtual-time core.
+
+        The multiplex loop pulls units in virtual production order, so
+        real sealed requests of different tenants interleave on the
+        shared machine in the same order a real serving loop would
+        admit them.
+        """
+        machine = self._machine
+        clock = machine.clock
+        costs = machine.costs
+        try:
+            self.table.open_context(client.record)
+        except AdmissionError as exc:
+            client.admission_error = str(exc)
+            while client.queue:
+                request = client.queue.pop()
+                request.outcome = DENIED
+                request.error = str(exc)
+            return
+
+        snap = clock.snapshot()
+        api = machine.hix_session(
+            self._service, name=client.name,
+            channel_queue_depth=self._channel_queue_depth)
+        api.cuCtxCreate()
+        host, gpu = self._split(clock.elapsed_since(snap), crypto_eff)
+        # Session setup is serial host work (attestation + DH); any
+        # engine seconds it charged are folded in rather than scheduled.
+        yield WorkUnit(host + gpu, None, "session-setup")
+
+        guarded = _GuardedApi(api, self.table, client.record,
+                              self._alloc_tokens)
+        client.api = guarded
+
+        while client.queue:
+            request = client.queue.pop()
+            snap = clock.snapshot()
+            clock.advance(costs.serve_dispatch_latency, "serve_dispatch")
+            if request.extra_host_seconds > 0.0:
+                clock.advance(request.extra_host_seconds, "launch")
+            ok = True
+            try:
+                request.result = request.fn(guarded)
+            except AdmissionError as exc:
+                ok = False
+                request.outcome = DENIED
+                request.error = str(exc)
+            except QueueFullError as exc:
+                # Channel backlog is the lower level's backpressure;
+                # surface it as such rather than as a protocol fault.
+                ok = False
+                request.outcome = BACKPRESSURE
+                request.error = str(exc)
+            except (RequestRejected, DriverError) as exc:
+                ok = False
+                request.outcome = FAILED
+                request.error = str(exc)
+            host, gpu = self._split(clock.elapsed_since(snap), crypto_eff)
+            request.host_seconds = host
+            request.gpu_seconds = gpu
+            if not ok:
+                # A denied/failed request consumed host time only; any
+                # engine time it managed to charge is not scheduled.
+                yield WorkUnit(host + gpu, None, request.label)
+                continue
+            if gpu <= 0.0:
+                # Host-only request (malloc/free/module-load): served
+                # inline, never visits the engine queue.
+                request.outcome = SERVED
+                yield WorkUnit(host, None, request.label)
+                continue
+
+            def settle(outcome: str, request: ServeRequest = request) -> None:
+                request.outcome = SERVED if outcome == "served" else TIMEOUT
+
+            yield WorkUnit(host, gpu, request.label,
+                           deadline=request.timeout, on_outcome=settle)
+
+        snap = clock.snapshot()
+        api.cuCtxDestroy()
+        self.table.close_context(client.record)
+        host, gpu = self._split(clock.elapsed_since(snap), crypto_eff)
+        yield WorkUnit(host + gpu, None, "teardown")
+
+    def run(self) -> ServeReport:
+        """Execute every queued request and return the serving report."""
+        self._scheduler.reset()
+        crypto_eff = self._resolve_crypto_efficiency()
+        lanes = [TenantLane(units=self._unit_stream(client, crypto_eff),
+                            weight=client.record.quota.weight,
+                            max_inflight=client.record.quota.max_inflight)
+                 for client in self._clients]
+        result = multiplex(lanes, self._scheduler,
+                           self._machine.costs.gpu_context_switch)
+
+        lane_names: List[str] = []
+        for index, client in enumerate(self._clients):
+            name = client.name
+            if name in lane_names:
+                name = f"{name}#{index}"
+            lane_names.append(name)
+        lane_events: Dict[str, List[TraceEvent]] = {
+            name: [] for name in lane_names}
+        for tenant, event in result.events:
+            lane_events[lane_names[tenant]].append(event)
+
+        tenants: List[TenantReport] = []
+        for index, client in enumerate(self._clients):
+            counts = client.outcome_counts()
+            timeline = result.timelines[index]
+            tenants.append(TenantReport(
+                name=lane_names[index],
+                submitted=client.queue.counters.accepted,
+                rejected_submits=client.queue.counters.rejected,
+                served=counts.get(SERVED, 0),
+                timed_out=counts.get(TIMEOUT, 0),
+                denied=counts.get(DENIED, 0),
+                backpressured=counts.get(BACKPRESSURE, 0),
+                failed=counts.get(FAILED, 0),
+                finish_time=timeline.finish_time,
+                gpu_busy=timeline.gpu_busy,
+                host_busy=timeline.host_busy,
+                waits=timeline.waits,
+                stall_seconds=result.stall_seconds[index],
+                peak_memory=client.record.peak_memory,
+                quota_denials=client.record.quota_denials,
+            ))
+        return ServeReport(
+            scheduler=self._scheduler.name,
+            makespan=result.makespan,
+            context_switches=result.context_switches,
+            gpu_utilization=result.gpu_utilization,
+            tenants=tenants,
+            lanes=lane_events,
+        )

@@ -1,0 +1,99 @@
+"""Bounded per-tenant request queues with explicit backpressure.
+
+Each tenant submits :class:`ServeRequest` callables into its own
+bounded queue.  A full queue rejects the submission with
+:class:`~repro.errors.BackpressureError` — the serving layer never
+buffers unboundedly, mirroring the bounded sealed-message queues in
+``repro.core.channel`` one level down.  The two levels compose: the
+serve queue bounds *accepted but unexecuted* requests, the channel
+queue bounds *in-flight sealed messages*, and a channel
+``QueueFullError`` surfacing mid-request is translated back into
+backpressure by the engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Optional
+
+from repro.errors import BackpressureError
+
+# Request outcomes, settled by the engine run.
+PENDING = "pending"
+SERVED = "served"
+TIMEOUT = "timeout"
+DENIED = "denied"          # quota (AdmissionError) during execution
+BACKPRESSURE = "backpressure"  # channel queue overflow during execution
+FAILED = "failed"          # structured error reply from the GPU enclave
+
+
+@dataclass
+class ServeRequest:
+    """One unit of tenant work: a callable over the tenant's API handle.
+
+    ``fn`` receives the tenant's (quota-guarded) :class:`HixApi` proxy
+    and may issue any number of sealed driver calls; the engine measures
+    the simulated time they charge and schedules it on the virtual
+    timeline.  ``extra_host_seconds`` adds modeled host time not
+    captured by the calls themselves (e.g. launch overhead for launches
+    elided by chunk capping — the serving analogue of the harness's
+    launch-count correction).
+    """
+
+    label: str
+    fn: Callable[[Any], Any]
+    timeout: Optional[float] = None
+    extra_host_seconds: float = 0.0
+    seq: int = -1
+    outcome: str = PENDING
+    result: Any = None
+    error: Optional[str] = None
+    host_seconds: float = 0.0
+    gpu_seconds: float = 0.0
+
+
+@dataclass
+class QueueCounters:
+    accepted: int = 0
+    rejected: int = 0
+
+
+class RequestQueue:
+    """FIFO of pending requests for one tenant, bounded by quota."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth!r}")
+        self.depth = depth
+        self.counters = QueueCounters()
+        self._entries: Deque[ServeRequest] = deque()
+        self._seq = 0
+
+    def submit(self, request: ServeRequest) -> ServeRequest:
+        """Enqueue, or raise :class:`BackpressureError` if full."""
+        if len(self._entries) >= self.depth:
+            self.counters.rejected += 1
+            raise BackpressureError(
+                f"request queue full ({self.depth} pending); "
+                f"rejected {request.label!r}")
+        request.seq = self._seq
+        self._seq += 1
+        self.counters.accepted += 1
+        self._entries.append(request)
+        return request
+
+    def pop(self) -> ServeRequest:
+        return self._entries.popleft()
+
+    def peek(self) -> Optional[ServeRequest]:
+        return self._entries[0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -76,6 +76,17 @@ class CostModel:
     gpu_memory_cleanse_bandwidth: float = 48.0 * GB  # VRAM zeroing rate
     gpu_kernel_dispatch: float = 5.0 * US   # on-device scheduling cost
 
+    # --- Multi-tenant serving layer (repro.serve) ---
+    # One scheduling decision + queue bookkeeping per dispatched request;
+    # charged on the host side of the request (the GPU enclave's serving
+    # loop runs on the CPU, like the msgqueue hops above).
+    serve_dispatch_latency: float = 2.0 * US
+    # Deficit round-robin quantum: GPU-engine seconds granted per tenant
+    # per scheduler round.  Sized to one pipeline chunk's in-GPU crypto
+    # pass (4 MiB / 8 GBps + launch drain) so a single bulk chunk never
+    # needs more than two rounds of credit.
+    serve_fair_quantum: float = 600.0 * US
+
     # --- SGX microcode (emulated via VM exits in the paper's prototype) ---
     sgx_instruction_latency: float = 3.0 * US   # ECREATE/EADD/EGADD etc.
     epc_page_add_latency: float = 1.5 * US      # per EADD'd page
@@ -113,6 +124,28 @@ class CostModel:
     def cleanse_time(self, nbytes: int) -> float:
         """Seconds to zero *nbytes* of VRAM on deallocation/context teardown."""
         return self.scaled(nbytes) / self.gpu_memory_cleanse_bandwidth
+
+    def rpc_round_trip(self) -> float:
+        """One sealed request/reply round trip over the untrusted channel."""
+        return (2 * self.msgqueue_hop + 2 * self.enclave_transition
+                + 2 * self.cpu_aead_setup_latency)
+
+    def launch_overhead(self, mode: str) -> float:
+        """Driver-visible cost of one kernel launch, beyond GPU compute.
+
+        *mode* is ``"gdev"`` (ioctl + param-buffer DMA + FIFO kick +
+        status poll) or ``"hix"`` (sealed round trip + trusted-MMIO
+        param write).  Shared by the evalkit harness's launch-count
+        correction and the serving layer's job builder, so both charge
+        elided launches identically.
+        """
+        if mode == "gdev":
+            return (self.kernel_launch_gdev + self.dma_setup_latency
+                    + 4 * self.mmio_reg_latency)
+        if mode == "hix":
+            return (self.kernel_launch_hix + self.rpc_round_trip()
+                    + 4 * self.mmio_reg_latency)
+        raise ValueError(f"mode must be 'gdev' or 'hix', got {mode!r}")
 
     def with_overrides(self, **overrides: float) -> "CostModel":
         """Return a copy with the given parameters replaced (for ablations)."""

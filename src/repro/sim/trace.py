@@ -98,6 +98,48 @@ def record(clock: SimClock) -> TraceRecorder:
     return TraceRecorder(clock)
 
 
+#: Glyphs for :func:`render_lanes`; unknown categories render as ``*``.
+LANE_GLYPHS = {
+    "host": ".",
+    "gpu": "#",
+    "ctx_switch": "x",
+}
+
+
+def render_lanes(lanes: "dict[str, List[TraceEvent]]",
+                 width: int = 60) -> str:
+    """ASCII timeline with one row per named lane (e.g. per tenant).
+
+    Unlike :meth:`TraceRecorder.render` (one row per *category*), every
+    lane mixes categories on one row — host work as ``.``, exclusive
+    GPU-engine time as ``#``, context switches as ``x`` — so concurrent
+    tenants' interleaving on the shared engine is visible at a glance.
+    Later-drawn glyphs win inside a cell, with engine time drawn last so
+    the serialized resource always shows through.
+    """
+    all_events = [e for events in lanes.values() for e in events]
+    if not all_events:
+        return "(empty lanes)"
+    t0 = min(e.start for e in all_events)
+    t1 = max(e.end for e in all_events)
+    span = max(t1 - t0, 1e-12)
+    label_width = max(len(name) for name in lanes)
+    lines = [f"lanes: {span * 1e3:.3f} ms "
+             f"(host '.', gpu '#', ctx switch 'x')"]
+    draw_order = {"host": 0, "ctx_switch": 1, "gpu": 2}
+    for name, events in lanes.items():
+        row = [" "] * width
+        for event in sorted(events,
+                            key=lambda e: draw_order.get(e.category, 0)):
+            glyph = LANE_GLYPHS.get(event.category, "*")
+            lo = int((event.start - t0) / span * (width - 1))
+            hi = int((event.end - t0) / span * (width - 1))
+            for index in range(lo, max(hi, lo) + 1):
+                row[index] = glyph
+        lines.append(f"{name:>{label_width}} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
 def fastpath_counters(machine) -> "dict[str, int]":
     """Wall-clock fast-path statistics of a machine's data plane.
 

@@ -198,7 +198,8 @@ class Machine:
         return service.boot()
 
     def hix_session(self, service: GpuEnclaveService, name: str = "app",
-                    check_identity: bool = True) -> HixApi:
+                    check_identity: bool = True,
+                    channel_queue_depth: Optional[int] = None) -> HixApi:
         """Create a user enclave and its trusted runtime."""
         process = self.kernel.create_process(name)
         image = EnclaveImage.from_code(
@@ -208,7 +209,8 @@ class Machine:
         return HixApi(self.kernel, process, service,
                       clock=self.clock, costs=self.costs,
                       expected_gpu_enclave_measurement=expected,
-                      suite_name=self.config.suite_name)
+                      suite_name=self.config.suite_name,
+                      channel_queue_depth=channel_queue_depth)
 
     # -- adversary / lifecycle --------------------------------------------------------
 

@@ -1,0 +1,140 @@
+"""Property-based cross-checks: serving timeline vs the analytic oracle.
+
+The serving layer's virtual-time core (``repro.serve.timeline``) claims
+specific equivalences with the paper's analytic multi-user model
+(``repro.core.multiuser.simulate_concurrent``); this suite pins them
+down on randomized inputs:
+
+* FIFO on identical users reproduces the oracle's makespan exactly;
+* on single-visit-per-tenant inputs *every* work-conserving scheduler
+  reproduces it exactly (busy periods of a work-conserving server do
+  not depend on service order);
+* on workload-shaped inputs the deficit-fair scheduler's makespan
+  tracks the oracle within a small relative tolerance;
+* conserved quantities (per-user host/gpu busy seconds) are exact for
+  every scheduler on every input.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multiuser import Segment, simulate_concurrent
+from repro.evalkit.serve_sweep import fair_crosscheck
+from repro.serve.scheduler import (
+    DeficitFairScheduler,
+    FifoScheduler,
+    RoundRobinScheduler,
+)
+from repro.serve.timeline import schedule_segments
+from repro.sim.costs import CostModel
+from repro.workloads.rodinia import rodinia_workloads
+
+MS = 1e-3
+US = 1e-6
+
+durations = st.floats(min_value=20 * US, max_value=2 * MS)
+switch_costs = st.sampled_from([0.0, 120 * US, 1 * MS])
+
+
+def any_scheduler(draw_quantum):
+    return st.one_of(
+        st.just(FifoScheduler()),
+        st.just(RoundRobinScheduler()),
+        st.builds(DeficitFairScheduler, draw_quantum))
+
+
+@st.composite
+def identical_users(draw):
+    """N identical copies of one alternating host/gpu stream."""
+    phases = draw(st.lists(st.tuples(durations, durations),
+                           min_size=1, max_size=10))
+    stream = []
+    for host, gpu in phases:
+        stream.append(Segment("host", host, "h"))
+        stream.append(Segment("gpu", gpu, "g"))
+    n = draw(st.integers(min_value=1, max_value=5))
+    return [list(stream) for _ in range(n)]
+
+
+@st.composite
+def single_visit_users(draw):
+    """Independent tenants, each one host segment then one gpu visit."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    return [[Segment("host", draw(durations), "h"),
+             Segment("gpu", draw(durations), "g")]
+            for _ in range(n)]
+
+
+class TestFifoMatchesOracle:
+    @given(users=identical_users(), cost=switch_costs)
+    @settings(max_examples=80, deadline=None)
+    def test_identical_users_exact(self, users, cost):
+        oracle, _, _ = simulate_concurrent(users, cost)
+        mine, _, _ = schedule_segments(users, FifoScheduler(), cost)
+        assert mine == pytest.approx(oracle, rel=1e-9, abs=1e-12)
+
+
+class TestSingleVisitOrderInvariance:
+    @given(users=single_visit_users(), cost=switch_costs,
+           scheduler=any_scheduler(st.floats(min_value=10 * US,
+                                             max_value=5 * MS)))
+    @settings(max_examples=120, deadline=None)
+    def test_any_scheduler_exact(self, users, cost, scheduler):
+        """Busy periods are order-invariant: with one visit per tenant
+        and no host tail, every work-conserving policy yields the
+        oracle's makespan, whatever order it serves the queue in."""
+        oracle, _, _ = simulate_concurrent(users, cost)
+        mine, _, _ = schedule_segments(users, scheduler, cost)
+        assert mine == pytest.approx(oracle, rel=1e-9, abs=1e-12)
+
+    @given(users=single_visit_users(), cost=switch_costs)
+    @settings(max_examples=40, deadline=None)
+    def test_switch_count_is_tenant_count(self, users, cost):
+        _, _, stats = schedule_segments(users, RoundRobinScheduler(), cost)
+        assert stats["context_switches"] == len(users) - 1
+
+
+class TestConservation:
+    @given(users=identical_users(), cost=switch_costs,
+           scheduler=any_scheduler(st.floats(min_value=10 * US,
+                                             max_value=5 * MS)))
+    @settings(max_examples=60, deadline=None)
+    def test_busy_seconds_conserved(self, users, cost, scheduler):
+        """Scheduling reorders work; it never creates or destroys it."""
+        _, timelines, _ = schedule_segments(users, scheduler, cost)
+        for timeline, segments in zip(timelines, users):
+            host = sum(s.duration for s in segments if s.kind == "host")
+            gpu = sum(s.duration for s in segments if s.kind == "gpu")
+            assert timeline.host_busy == pytest.approx(host, abs=1e-12)
+            assert timeline.gpu_busy == pytest.approx(gpu, abs=1e-12)
+
+    @given(users=identical_users(), cost=switch_costs)
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_lower_bound(self, users, cost):
+        """The engine is one resource: makespan >= total gpu + switches."""
+        makespan, _, stats = schedule_segments(
+            users, DeficitFairScheduler(600 * US), cost)
+        total_gpu = sum(s.duration for u in users for s in u
+                        if s.kind == "gpu")
+        floor = total_gpu + stats["context_switches"] * cost
+        assert makespan >= floor - 1e-9
+
+
+class TestFairTracksOracleOnWorkloads:
+    """Satellite cross-check: DRR with the calibrated quantum stays
+    within a small relative band of ``simulate_concurrent`` on the
+    actual Figure 8/9 segment inputs (and is exact at one user)."""
+
+    @pytest.mark.parametrize("app", ["backprop", "bfs", "hotspot",
+                                     "needleman-wunsch", "srad"])
+    @pytest.mark.parametrize("num_users", [2, 4])
+    def test_within_tolerance(self, app, num_users):
+        workload = {w.name: w for w in rodinia_workloads()}[app]
+        result = fair_crosscheck(workload, num_users)
+        assert result.relative_delta < 0.02
+
+    def test_single_user_exact(self):
+        workload = next(iter(rodinia_workloads()))
+        result = fair_crosscheck(workload, 1)
+        assert result.fair_makespan == pytest.approx(
+            result.oracle_makespan, rel=1e-9)

@@ -17,7 +17,7 @@ from repro.core.key_exchange import (
     dh_bytes_to_int,
     int_to_dh_bytes,
 )
-from repro.errors import AttestationError, ProtocolError
+from repro.errors import AttestationError, ProtocolError, QueueFullError
 from repro.system import Machine, MachineConfig
 
 
@@ -52,6 +52,47 @@ class TestMessageQueue:
         queue = MessageQueue("q")
         queue.entries.append(Notification("request", 0, 64))
         assert queue.recv().length == 64
+
+
+class TestBoundedMessageQueue:
+    def test_enqueue_on_full_raises(self):
+        queue = MessageQueue("q", capacity=2)
+        queue.send("a", 0, 1)
+        queue.send("b", 0, 1)
+        with pytest.raises(QueueFullError):
+            queue.send("c", 0, 1)
+
+    def test_queue_full_is_protocol_error(self):
+        """Serving code can catch the overflow without special-casing."""
+        assert issubclass(QueueFullError, ProtocolError)
+
+    def test_rejected_counter_and_no_silent_drop(self):
+        queue = MessageQueue("q", capacity=1)
+        queue.send("kept", 0, 1)
+        for _ in range(3):
+            with pytest.raises(QueueFullError):
+                queue.send("dropped", 0, 1)
+        assert queue.rejected == 3
+        assert queue.sent == 1
+        assert len(queue) == 1
+        assert queue.recv().kind == "kept"
+
+    def test_recv_frees_capacity(self):
+        queue = MessageQueue("q", capacity=1)
+        queue.send("a", 0, 1)
+        queue.recv()
+        queue.send("b", 0, 1)  # does not raise
+        assert queue.recv().kind == "b"
+
+    def test_default_is_unbounded(self):
+        queue = MessageQueue("q")
+        for i in range(1000):
+            queue.send("x", i, 1)
+        assert len(queue) == 1000
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MessageQueue("q", capacity=0)
 
 
 class TestSharedMemoryRegion:

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core import protocol
-from repro.errors import ProtocolError
+from repro.errors import (
+    GpuUnavailable,
+    OutOfDeviceMemory,
+    ProtocolError,
+    RequestRejected,
+    UnknownOperation,
+)
 from repro.evalkit.report import fmt_bytes, fmt_pct, render_series, render_table
 from repro.gpu.module import DevPtr
 
@@ -41,6 +47,59 @@ class TestProtocolMessages:
     def test_check_request_missing_op(self):
         with pytest.raises(ProtocolError):
             protocol.check_request({})
+
+    def test_all_ops_covers_every_op_constant(self):
+        ops = {value for name, value in vars(protocol).items()
+               if name.startswith("OP_")}
+        assert ops == set(protocol.ALL_OPS)
+
+
+class TestErrorReplies:
+    """Authenticated-but-invalid requests get structured error replies."""
+
+    def test_unknown_op_code(self):
+        reply = protocol.error_reply(UnknownOperation("op 'rm -rf'"))
+        assert reply["ok"] is False
+        assert reply["code"] == protocol.ERR_UNKNOWN_OP
+        assert "UnknownOperation" in reply["error"]
+
+    def test_code_mapping(self):
+        assert protocol.error_code_for(
+            ProtocolError("bad")) == protocol.ERR_PROTOCOL
+        assert protocol.error_code_for(
+            OutOfDeviceMemory("oom")) == protocol.ERR_RESOURCES
+        assert protocol.error_code_for(
+            GpuUnavailable("down")) == protocol.ERR_UNAVAILABLE
+        assert protocol.error_code_for(
+            RuntimeError("anything")) == protocol.ERR_DRIVER
+
+    def test_unknown_op_rejected_at_dispatch_end_to_end(self):
+        """An op outside ALL_OPS travels the full sealed path and comes
+        back as a structured error reply; the session stays live."""
+        from repro.system import Machine, MachineConfig
+        machine = Machine(MachineConfig())
+        service = machine.boot_hix()
+        api = machine.hix_session(service, "prober")
+        api.cuCtxCreate()
+        with pytest.raises(RequestRejected) as excinfo:
+            api._request({"op": "rm -rf"})  # noqa: SLF001
+        assert excinfo.value.code == protocol.ERR_UNKNOWN_OP
+        # The service survived and the session still serves requests.
+        buf = api.cuMemAlloc(4096)
+        api.cuMemcpyHtoD(buf, b"still alive!")
+        assert api.cuMemcpyDtoH(buf, 12) == b"still alive!"
+        api.cuCtxDestroy()
+
+    def test_missing_op_rejected_at_dispatch(self):
+        from repro.system import Machine, MachineConfig
+        machine = Machine(MachineConfig())
+        service = machine.boot_hix()
+        api = machine.hix_session(service, "prober")
+        api.cuCtxCreate()
+        with pytest.raises(RequestRejected) as excinfo:
+            api._request({"nbytes": 4096})  # noqa: SLF001
+        assert excinfo.value.code == protocol.ERR_UNKNOWN_OP
+        api.cuCtxDestroy()
 
 
 class TestParamCoding:

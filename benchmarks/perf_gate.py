@@ -40,6 +40,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILES = [
     Path(__file__).resolve().parent / "bench_simulator_perf.py",
     Path(__file__).resolve().parent / "bench_serve.py",
+    Path(__file__).resolve().parent / "bench_engine.py",
 ]
 BASELINE_FILE = (Path(__file__).resolve().parent
                  / "baselines" / "simulator_perf.json")

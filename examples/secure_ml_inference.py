@@ -20,7 +20,6 @@ import numpy as np
 
 from repro import Machine
 from repro.gpu.kernels import global_registry
-from repro.gpu.module import DevPtr
 
 # -- a tiny MLP "model" -------------------------------------------------------
 

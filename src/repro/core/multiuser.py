@@ -13,14 +13,23 @@ overlaps freely across users) and ``gpu`` work (serialized on the single
 GPU engine, FIFO-arbitrated, paying a context-switch cost whenever the
 engine changes owner).  The evaluation harness converts a workload's
 phase profile into segments via the cost model and reads off makespans.
+
+Since the timing-layer unification this module is a thin adapter over
+the shared discrete-event kernel (:mod:`repro.sim.engine`): each user
+becomes a kernel lane of single-segment work units and the GPU is the
+kernel's exclusive :class:`~repro.sim.engine.Resource` under native
+FIFO arbitration.  The pre-kernel heapq implementation lives on as the
+reference oracle in ``tests/property/oracles.py``, and the property
+suite pins this adapter to it exactly — makespan, per-user timelines,
+and stats — on arbitrary tie-heavy inputs.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.engine import TenantLane, WorkUnit, run_lanes
 
 
 @dataclass(frozen=True)
@@ -59,52 +68,25 @@ def simulate_concurrent(users: Sequence[Sequence[Segment]],
     engine's resident context changes (including the first occupancy of
     a previously-used engine, matching Fermi's save/restore behaviour
     between non-empty contexts).
+
+    Executes on the shared kernel (:func:`repro.sim.engine.run_lanes`)
+    with one single-segment lane per user and the kernel's native FIFO
+    arbitration; results are pinned exactly — ties included — to the
+    retired heapq oracle by the property suite.
     """
-    num_users = len(users)
-    cursors = [0] * num_users           # next segment index per user
-    ready_at = [0.0] * num_users        # when the user can proceed
-    timelines = [UserTimeline(0.0, 0.0, 0.0, 0.0) for _ in range(num_users)]
-
-    gpu_free_at = 0.0
-    resident_ctx = None
-    switches = 0
-    events: List[Tuple[float, int, int]] = []  # (time, seq, user)
-    seq = itertools.count()
-    for user in range(num_users):
-        heapq.heappush(events, (0.0, next(seq), user))
-
-    while events:
-        now, _tie, user = heapq.heappop(events)
-        segments = users[user]
-        if cursors[user] >= len(segments):
-            timelines[user].finish_time = max(timelines[user].finish_time, now)
-            continue
-        segment = segments[cursors[user]]
-        cursors[user] += 1
-        if segment.kind == "host":
-            timelines[user].host_busy += segment.duration
-            finish = now + segment.duration
-        else:
-            start = max(now, gpu_free_at)
-            timelines[user].waits += start - now
-            if resident_ctx != user:
-                if resident_ctx is not None:
-                    start += ctx_switch_cost
-                    switches += 1
-                resident_ctx = user
-            finish = start + segment.duration
-            timelines[user].gpu_busy += segment.duration
-            gpu_free_at = finish
-        timelines[user].finish_time = finish
-        heapq.heappush(events, (finish, next(seq), user))
-
-    makespan = max((t.finish_time for t in timelines), default=0.0)
+    lanes = [TenantLane(units=[
+        WorkUnit(seg.duration, None, seg.label) if seg.kind == "host"
+        else WorkUnit(0.0, seg.duration, seg.label)
+        for seg in segments], max_inflight=1) for segments in users]
+    result = run_lanes(lanes, None, ctx_switch_cost)
+    timelines = [UserTimeline(t.finish_time, t.gpu_busy, t.host_busy, t.waits)
+                 for t in result.timelines]
     stats = {
-        "context_switches": float(switches),
-        "gpu_utilization": (sum(t.gpu_busy for t in timelines) / makespan
-                            if makespan > 0 else 0.0),
+        "context_switches": float(result.context_switches),
+        "gpu_utilization": (sum(t.gpu_busy for t in timelines)
+                            / result.makespan if result.makespan > 0 else 0.0),
     }
-    return makespan, timelines, stats
+    return result.makespan, timelines, stats
 
 
 def interleave_copies(total_bytes: float, chunk: float, host_rate: float,

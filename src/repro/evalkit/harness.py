@@ -9,9 +9,10 @@ the full-size problem minus the launches actually issued, charged at the
 per-launch cost of the stack under test (plus any residual modeled GPU
 compute the issued launches did not carry).
 
-Multi-user runs (Figures 8/9) use the discrete-event model of
-:mod:`repro.core.multiuser`, fed with per-phase durations derived from
-the same cost model.
+Multi-user runs (Figures 8/9) use the multi-user model of
+:mod:`repro.core.multiuser` (an adapter over the shared discrete-event
+kernel, :mod:`repro.sim.engine`), fed with per-phase durations derived
+from the same cost model.
 """
 
 from __future__ import annotations

@@ -4,23 +4,27 @@ This is the tentpole of the serving layer.  Each admitted tenant gets a
 real attested session against the shared :class:`GpuEnclaveService` —
 its own user enclave, 3-party key exchange, sealed channel, and bounded
 message queues — and submits :class:`ServeRequest` callables into its
-bounded request queue.  The engine then runs a *two-level* execution:
+bounded request queue.  The engine then runs every tenant as a real
+:class:`~repro.sim.engine.Process` on the shared discrete-event kernel:
 
-1. **Production (real).**  Requests execute one at a time on the shared
-   machine: real bytes move, real AEAD seals/opens run, the GPU enclave
-   dispatches real driver operations.  The simulated time each request
-   charges is measured via clock snapshots and split into
-   GPU-engine-exclusive seconds (compute, dispatch, in-GPU crypto) vs
-   overlappable host seconds using :meth:`TimeBreakdown.split`.
+* **Production happens in virtual time.**  A tenant process pulls its
+  next request when the kernel schedules it to, so admission checks,
+  sealed-request execution, and backpressure stalls of different
+  tenants interleave on the shared machine in exactly the order a real
+  serving loop would admit them.  Real bytes move, real AEAD
+  seals/opens run, the GPU enclave dispatches real driver operations;
+  the simulated time each request charges is measured via clock
+  snapshots and split into GPU-engine-exclusive seconds (compute,
+  dispatch, in-GPU crypto) vs overlappable host seconds using
+  :meth:`TimeBreakdown.split`.
 
-2. **Scheduling (virtual).**  The measured ``(host, gpu)`` durations are
-   replayed on the virtual multi-tenant timeline of
-   :mod:`repro.serve.timeline`: host work of different tenants overlaps,
-   GPU visits serialize on one engine under the configured scheduler,
-   and ``costs.gpu_context_switch`` is charged on every owner change.
-   The device's own ``gpu_ctx_switch`` charges from the serial
-   production order are excluded from the measurements so switches are
-   charged exactly once, by the schedule that actually decides them.
+* **The engine is the kernel's exclusive Resource.**  Host work of
+  different tenants overlaps, GPU visits serialize under the
+  configured scheduler, request timeouts expire lazily at dispatch
+  time, and ``costs.gpu_context_switch`` is charged on every owner
+  change.  The device's own ``gpu_ctx_switch`` charges from the serial
+  production order are excluded from the measurements so switches are
+  charged exactly once, by the schedule that actually decides them.
 
 Timeout semantics are a modeling choice worth stating: a request whose
 GPU visit expires on the virtual timeline already executed functionally
@@ -61,7 +65,7 @@ from repro.serve.queues import (
 )
 from repro.serve.scheduler import Scheduler, make_scheduler
 from repro.serve.session import SessionTable, TenantQuota, TenantRecord
-from repro.serve.timeline import TenantLane, WorkUnit, multiplex
+from repro.sim.engine import TenantLane, WorkUnit, run_lanes
 from repro.sim.clock import TimeBreakdown
 from repro.sim.trace import TraceEvent, render_lanes
 
@@ -276,12 +280,13 @@ class ServeEngine:
 
     def _unit_stream(self, client: TenantClient,
                      crypto_eff: float) -> Iterator[WorkUnit]:
-        """Lazy request execution: pulled by the virtual-time core.
+        """The tenant's behaviour: pulled by its kernel process.
 
-        The multiplex loop pulls units in virtual production order, so
-        real sealed requests of different tenants interleave on the
-        shared machine in the same order a real serving loop would
-        admit them.
+        Each ``next()`` happens inside a kernel event, at the tenant's
+        virtual production time — so real sealed requests of different
+        tenants interleave on the shared machine in the same order a
+        real serving loop would admit them, and admission errors,
+        backpressure, and timeout settlement all land in virtual time.
         """
         machine = self._machine
         clock = machine.clock
@@ -361,15 +366,14 @@ class ServeEngine:
         yield WorkUnit(host + gpu, None, "teardown")
 
     def run(self) -> ServeReport:
-        """Execute every queued request and return the serving report."""
+        """Execute every queued request and return the serving report.
+
+        One kernel :class:`~repro.sim.engine.Process` per tenant drives
+        the tenant's unit stream to exhaustion over the shared engine
+        Resource; the report is read off the kernel's lane accounting.
+        """
         self._scheduler.reset()
         crypto_eff = self._resolve_crypto_efficiency()
-        lanes = [TenantLane(units=self._unit_stream(client, crypto_eff),
-                            weight=client.record.quota.weight,
-                            max_inflight=client.record.quota.max_inflight)
-                 for client in self._clients]
-        result = multiplex(lanes, self._scheduler,
-                           self._machine.costs.gpu_context_switch)
 
         lane_names: List[str] = []
         for index, client in enumerate(self._clients):
@@ -377,6 +381,17 @@ class ServeEngine:
             if name in lane_names:
                 name = f"{name}#{index}"
             lane_names.append(name)
+
+        lanes = [TenantLane(units=self._unit_stream(client, crypto_eff),
+                            weight=client.record.quota.weight,
+                            max_inflight=client.record.quota.max_inflight,
+                            name=lane_names[index])
+                 for index, client in enumerate(self._clients)]
+        result = run_lanes(lanes, self._scheduler,
+                           self._machine.costs.gpu_context_switch)
+        gpu_busy = sum(t.gpu_busy for t in result.timelines)
+        gpu_utilization = (gpu_busy / result.makespan
+                           if result.makespan > 0.0 else 0.0)
         lane_events: Dict[str, List[TraceEvent]] = {
             name: [] for name in lane_names}
         for tenant, event in result.events:
@@ -407,7 +422,7 @@ class ServeEngine:
             scheduler=self._scheduler.name,
             makespan=result.makespan,
             context_switches=result.context_switches,
-            gpu_utilization=result.gpu_utilization,
+            gpu_utilization=gpu_utilization,
             tenants=tenants,
             lanes=lane_events,
         )

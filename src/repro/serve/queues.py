@@ -14,7 +14,7 @@ backpressure by the engine.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Deque, Optional
 
 from repro.errors import BackpressureError

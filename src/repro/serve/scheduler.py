@@ -2,17 +2,18 @@
 
 A scheduler arbitrates the one exclusive resource in the system — the
 GPU execution engine — among the ready queue heads of the admitted
-tenants.  It sees only :class:`~repro.serve.timeline.Visit` objects and
+tenants.  It sees only :class:`~repro.sim.engine.Visit` objects and
 the current engine owner, so the same scheduler drives both the pure
 virtual-time cross-checks (:func:`~repro.serve.timeline.schedule_segments`)
 and the real sealed-request serving engine.
 
 Three policies ship with the reproduction:
 
-* ``fifo`` — global arrival order; matches the paper's analytic
-  multi-user model (:func:`repro.core.multiuser.simulate_concurrent`)
-  up to simultaneous-event tie-breaking, and exactly on identical-user
-  and tie-free inputs.
+* ``fifo`` — global arrival order; identical to the shared kernel's
+  native arbitration, and therefore exactly equal to the paper's
+  analytic multi-user model
+  (:func:`repro.core.multiuser.simulate_concurrent`) on all inputs,
+  simultaneous-event ties included.
 * ``round-robin`` — rotate ownership across tenants regardless of how
   much engine time each visit consumes.
 * ``fair`` — deficit-weighted round robin (DRR): tenants accumulate
@@ -27,7 +28,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence
 
-from repro.serve.timeline import Visit
+from repro.sim.engine import Visit
 
 # Rotation modulus for round-robin distance; tenant ids are small table
 # indices, so any bound far above the tenant count works.

@@ -5,100 +5,41 @@ the shared machine (real bytes, real crypto), but *concurrency* is a
 scheduling question: host-side work of different tenants overlaps
 freely while GPU-engine work serializes, paying a context-switch cost
 whenever the engine changes owner (paper Section 4.5).  This module is
-the discrete-event core that turns per-request ``(host, gpu)`` durations
-into per-tenant timelines and a makespan, with the dispatch order chosen
-by a pluggable :class:`~repro.serve.scheduler.Scheduler`.
+the serving layer's surface over the shared discrete-event kernel
+(:mod:`repro.sim.engine`): it turns per-request ``(host, gpu)``
+durations into per-tenant timelines and a makespan, with the dispatch
+order chosen by a pluggable :class:`~repro.serve.scheduler.Scheduler`.
 
-The core deliberately mirrors the analytic model in
-:func:`repro.core.multiuser.simulate_concurrent`, with one semantic
-difference: this engine defers its choice to dispatch time (so any
-scheduler can arbitrate), while the oracle pre-reserves the engine the
-moment a gpu segment's event pops.  The two coincide except on
-simultaneous-event tie-breaks.  Validated equivalences (see the
-property suite): FIFO reproduces the oracle's makespan exactly on
-identical-user inputs and on tie-free inputs generally; *every*
-work-conserving scheduler matches it exactly on single-visit-per-tenant
-inputs, where busy periods are order-invariant; and the deficit-fair
-scheduler tracks it within ~1e-2 relative on workload-shaped inputs,
-which is what makes serving-layer makespans cross-checkable against
-the Figures 8/9 machinery.
+Historically this module carried its own event loop, which diverged
+from the analytic oracle (:func:`repro.core.multiuser.simulate_concurrent`)
+on simultaneous-event tie-breaks: it drained every event up to the
+dispatch instant before arbitrating, while the oracle pre-reserved the
+engine the moment a gpu event popped.  The unified kernel's single
+ordering rule — arrival-order seqs, synchronous dispatch at arrival,
+engine-free decisions ahead of same-time events — closes that gap:
+FIFO now reproduces the oracle *exactly on all inputs*, ties included
+(pinned by ``tests/property/test_prop_engine.py`` against the retired
+implementations in ``tests/property/oracles.py``).  Every
+work-conserving scheduler still matches the oracle exactly on
+single-visit-per-tenant inputs (busy-period order-invariance), and the
+deficit-fair scheduler tracks it within ~1e-2 relative on
+workload-shaped inputs, which is what makes serving-layer makespans
+cross-checkable against the Figures 8/9 machinery.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from collections import deque
 from dataclasses import dataclass, field
-from typing import (
-    Callable,
-    Deque,
-    Dict,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.multiuser import Segment, UserTimeline
+from repro.sim.engine import (  # noqa: F401  (public re-exports)
+    TenantLane,
+    Visit,
+    WorkUnit,
+    run_lanes,
+)
 from repro.sim.trace import TraceEvent
-
-
-@dataclass
-class WorkUnit:
-    """One schedulable unit of tenant work.
-
-    ``host_seconds`` of sequential host work (overlappable across
-    tenants), followed by an optional exclusive GPU-engine visit of
-    ``gpu_seconds``.  ``gpu_seconds=None`` means no engine visit at all;
-    ``0.0`` is a real (zero-duration) visit that still occupies the
-    engine and can force a context switch — matching the analytic
-    model's treatment of zero-duration gpu segments.
-
-    ``deadline`` is relative to the moment the visit becomes ready: a
-    visit still queued ``deadline`` seconds after its host part finished
-    is abandoned (timeout) instead of served.  ``on_outcome`` is called
-    with ``"served"`` or ``"timeout"`` when the engine decides.
-    """
-
-    host_seconds: float
-    gpu_seconds: Optional[float] = None
-    label: str = ""
-    deadline: Optional[float] = None
-    on_outcome: Optional[Callable[[str], None]] = None
-
-
-@dataclass
-class Visit:
-    """A pending GPU-engine visit; per-tenant queue heads compete."""
-
-    tenant: int
-    seq: int              # producing event's seq (FIFO tie-break)
-    ready: float          # when the host-side preparation finished
-    gpu_seconds: float
-    weight: float = 1.0
-    deadline: Optional[float] = None   # absolute virtual seconds
-    label: str = ""
-    on_outcome: Optional[Callable[[str], None]] = None
-    resume_seq: Optional[int] = None   # pre-allocated completion-event seq
-
-
-@dataclass
-class TenantLane:
-    """One tenant's unit stream plus its service limits.
-
-    ``max_inflight`` caps how many GPU visits may be queued or in
-    service at once; host-side production stalls (backpressure) when
-    the cap is reached.  ``max_inflight=1`` gives the strict
-    host/gpu alternation of the analytic multi-user model.
-    """
-
-    units: Union[Iterable[WorkUnit], Iterator[WorkUnit]]
-    weight: float = 1.0
-    max_inflight: int = 1
 
 
 @dataclass
@@ -135,162 +76,21 @@ def multiplex(lanes: Sequence[TenantLane], scheduler,
     GPU visits queue per tenant and the *scheduler* picks which ready
     queue head owns the engine next.  A context switch is charged
     whenever the engine changes owner (first occupancy is free, as in
-    the analytic model).  Unit streams are pulled lazily, so the real
-    serving engine can execute sealed requests at production time and
-    feed their measured costs straight into this loop.
+    the analytic model).  Unit streams are pulled lazily by the kernel
+    lane processes, so the real serving engine can execute sealed
+    requests at production time and feed their measured costs straight
+    into virtual time.
     """
-    n = len(lanes)
-    iters = [iter(lane.units) for lane in lanes]
-    host_free = [0.0] * n
-    outstanding = [0] * n
-    blocked = [False] * n
-    stall_since = [0.0] * n
-    # Block intervals are only charged as stall once the resumed produce
-    # actually yields a unit: trailing blocks after an exhausted stream
-    # delayed nothing.
-    stall_pending: Dict[int, float] = {}
-    queues: List[Deque[Visit]] = [deque() for _ in range(n)]
-    timelines = [UserTimeline(0.0, 0.0, 0.0, 0.0) for _ in range(n)]
-    served = [0] * n
-    timed_out = [0] * n
-    stall = [0.0] * n
-    lane_events: List[Tuple[int, TraceEvent]] = []
-
-    events: List[Tuple[float, int, str, int]] = []
-    eseq = itertools.count()
-    gpu_free = 0.0
-    resident: Optional[int] = None
-    switches = 0
-
-    for tenant in range(n):
-        heapq.heappush(events, (0.0, next(eseq), "produce", tenant))
-
-    def produce(tenant: int, now: float, tie: int) -> None:
-        # Sequence discipline (what keeps FIFO runs aligned with
-        # simulate_concurrent): a visit competes under its *producing
-        # event's* seq, and a lane that blocks on its inflight cap
-        # pre-allocates the seq of its post-completion resume here, at
-        # production rank — mirroring the oracle, which pushes a user's
-        # next event (allocating the next global seq) the moment its
-        # gpu event is popped, not when the engine finishes serving it.
-        pending_stall = stall_pending.pop(tenant, None)
-        try:
-            unit = next(iters[tenant])
-        except StopIteration:
-            timelines[tenant].finish_time = max(
-                timelines[tenant].finish_time, now)
-            return
-        if pending_stall is not None:
-            stall[tenant] += pending_stall
-        done = now + unit.host_seconds
-        timelines[tenant].host_busy += unit.host_seconds
-        timelines[tenant].finish_time = max(
-            timelines[tenant].finish_time, done)
-        host_free[tenant] = done
-        if unit.host_seconds > 0.0:
-            lane_events.append(
-                (tenant, TraceEvent(now, unit.host_seconds, "host")))
-        if unit.gpu_seconds is None:
-            heapq.heappush(events, (done, next(eseq), "produce", tenant))
-            return
-        deadline = None if unit.deadline is None else done + unit.deadline
-        visit = Visit(
-            tenant=tenant, seq=tie, ready=done,
-            gpu_seconds=unit.gpu_seconds, weight=lanes[tenant].weight,
-            deadline=deadline, label=unit.label,
-            on_outcome=unit.on_outcome)
-        queues[tenant].append(visit)
-        outstanding[tenant] += 1
-        if outstanding[tenant] < lanes[tenant].max_inflight:
-            heapq.heappush(events, (done, next(eseq), "produce", tenant))
-        else:
-            blocked[tenant] = True
-            stall_since[tenant] = done
-            visit.resume_seq = next(eseq)
-
-    def release_slot(tenant: int, now: float,
-                     seq: Optional[int] = None) -> None:
-        # The resumed produce reuses the visit's pre-allocated seq
-        # (carried through the completion event), keeping same-instant
-        # tie-breaks in oracle order.
-        outstanding[tenant] -= 1
-        if blocked[tenant]:
-            blocked[tenant] = False
-            stall_pending[tenant] = max(now - stall_since[tenant], 0.0)
-            heapq.heappush(events, (max(host_free[tenant], now),
-                                    next(eseq) if seq is None else seq,
-                                    "produce", tenant))
-
-    while events or any(queues):
-        heads = [q[0] for q in queues if q]
-        if not heads:
-            now, tie, kind, tenant = heapq.heappop(events)
-            if kind == "produce":
-                produce(tenant, now, tie)
-            else:
-                release_slot(tenant, now, tie)
-            continue
-
-        dispatch_at = max(gpu_free, min(v.ready for v in heads))
-        if events and events[0][0] <= dispatch_at:
-            now, tie, kind, tenant = heapq.heappop(events)
-            if kind == "produce":
-                produce(tenant, now, tie)
-            else:
-                release_slot(tenant, now, tie)
-            continue
-
-        # Lazy expiry: queue heads whose deadline passed are abandoned,
-        # never served, and their inflight slot is released now.
-        expired = False
-        for queue in queues:
-            while (queue and queue[0].deadline is not None
-                   and dispatch_at > queue[0].deadline):
-                visit = queue.popleft()
-                timed_out[visit.tenant] += 1
-                if visit.on_outcome is not None:
-                    visit.on_outcome("timeout")
-                release_slot(visit.tenant, dispatch_at)
-                expired = True
-        if expired:
-            continue
-
-        candidates = [q[0] for q in queues if q and q[0].ready <= dispatch_at]
-        visit = scheduler.select(candidates, resident, dispatch_at)
-        if visit not in candidates:  # defensive: scheduler contract
-            raise ValueError(
-                f"scheduler {scheduler!r} returned a non-candidate visit")
-        queues[visit.tenant].popleft()
-
-        start = dispatch_at
-        timelines[visit.tenant].waits += start - visit.ready
-        if resident is not None and resident != visit.tenant:
-            switches += 1
-            if ctx_switch_cost > 0.0:
-                lane_events.append((visit.tenant, TraceEvent(
-                    start, ctx_switch_cost, "ctx_switch")))
-            start += ctx_switch_cost
-        resident = visit.tenant
-        finish = start + visit.gpu_seconds
-        timelines[visit.tenant].gpu_busy += visit.gpu_seconds
-        timelines[visit.tenant].finish_time = max(
-            timelines[visit.tenant].finish_time, finish)
-        if visit.gpu_seconds > 0.0:
-            lane_events.append((visit.tenant, TraceEvent(
-                start, visit.gpu_seconds, "gpu")))
-        gpu_free = finish
-        served[visit.tenant] += 1
-        if visit.on_outcome is not None:
-            visit.on_outcome("served")
-        resume = (visit.resume_seq if visit.resume_seq is not None
-                  else next(eseq))
-        heapq.heappush(events, (finish, resume, "complete", visit.tenant))
-
-    makespan = max((t.finish_time for t in timelines), default=0.0)
+    result = run_lanes(lanes, scheduler, ctx_switch_cost)
     return MultiplexResult(
-        makespan=makespan, timelines=timelines, context_switches=switches,
-        served=served, timed_out=timed_out, stall_seconds=stall,
-        events=lane_events)
+        makespan=result.makespan,
+        timelines=[UserTimeline(t.finish_time, t.gpu_busy, t.host_busy,
+                                t.waits) for t in result.timelines],
+        context_switches=result.context_switches,
+        served=result.served,
+        timed_out=result.timed_out,
+        stall_seconds=result.stall_seconds,
+        events=result.events)
 
 
 def segments_to_units(segments: Sequence[Segment]) -> List[WorkUnit]:
@@ -312,12 +112,12 @@ def schedule_segments(users: Sequence[Sequence[Segment]], scheduler,
     Takes the same per-user segment lists and context-switch cost, and
     returns the same ``(makespan, timelines, stats)`` tuple — with the
     engine's arbitration chosen by *scheduler* instead of hard-wired
-    FIFO.  With :class:`~repro.serve.scheduler.FifoScheduler` the
-    makespan matches ``simulate_concurrent`` exactly on identical-user
-    and tie-free inputs (divergence is possible only on simultaneous-
-    event tie-breaks, where the oracle's pre-reservation order is
-    unreachable from dispatch-time choice); this is the cross-check
-    bridge between the serving layer and the paper's Figures 8/9 model.
+    FIFO.  With :class:`~repro.serve.scheduler.FifoScheduler` the result
+    matches ``simulate_concurrent`` exactly on **all** inputs,
+    simultaneous-event ties included — both run on the same kernel, and
+    the kernel's arrival-order rule is pinned to the retired oracle by
+    the property suite.  This is the cross-check bridge between the
+    serving layer and the paper's Figures 8/9 model.
     """
     lanes = [TenantLane(units=segments_to_units(segments), max_inflight=1)
              for segments in users]

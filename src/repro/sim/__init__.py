@@ -7,18 +7,43 @@ but performance is reported in *simulated seconds* charged on a
 :class:`~repro.sim.costs.CostModel`.  This mirrors the paper's prototype,
 which emulated the new hardware in KVM/QEMU and measured the resulting
 software stack.
+
+Concurrency — multi-user contention, multi-tenant serving, pipelined
+copies — executes on the discrete-event kernel in
+:mod:`repro.sim.engine` (:class:`~repro.sim.engine.EventClock`,
+:class:`~repro.sim.engine.Process`, :class:`~repro.sim.engine.Resource`),
+whose primitives are re-exported here.
 """
 
 from repro.sim.clock import SimClock, TimeBreakdown
 from repro.sim.costs import CostModel
-from repro.sim.pipeline import pipelined_time, serial_time
+from repro.sim.engine import (
+    EventClock,
+    LaneResult,
+    Process,
+    Resource,
+    TenantLane,
+    Visit,
+    WorkUnit,
+    run_lanes,
+)
+from repro.sim.pipeline import pipelined_time, pipelined_time_events, serial_time
 from repro.sim.trace import TraceRecorder, record
 
 __all__ = [
     "SimClock",
     "TimeBreakdown",
     "CostModel",
+    "EventClock",
+    "LaneResult",
+    "Process",
+    "Resource",
+    "TenantLane",
+    "Visit",
+    "WorkUnit",
+    "run_lanes",
     "pipelined_time",
+    "pipelined_time_events",
     "serial_time",
     "TraceRecorder",
     "record",

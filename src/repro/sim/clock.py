@@ -11,7 +11,7 @@ way the paper's Figure 6/7 bars do (init / copy / crypto / compute).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 
@@ -54,9 +54,11 @@ class SimClock:
 
     The clock is a plain accumulator: ``advance(dt, category)`` moves
     simulated time forward.  Concurrency (e.g. multi-user GPU sharing) is
-    handled by the event-driven executor in :mod:`repro.core.multiuser`,
+    handled by the discrete-event kernel in :mod:`repro.sim.engine`,
     which computes makespans from per-operation durations rather than by
-    advancing a shared clock from multiple actors.
+    advancing a shared clock from multiple actors; the kernel's
+    :class:`~repro.sim.engine.EventClock` exposes this class's listener
+    surface, so trace consumers work against either clock.
     """
 
     def __init__(self) -> None:
@@ -124,17 +126,17 @@ class SimClock:
 
 @dataclass
 class StopwatchResult:
-    """Result of timing a callable against a :class:`SimClock`."""
+    """Result of timing a callable against a :class:`SimClock`.
+
+    The per-category breakdown lives in ``elapsed.by_category``.
+    """
 
     value: object
     elapsed: TimeBreakdown
-    categories: Dict[str, float] = field(default_factory=dict)
 
 
 def time_call(clock: SimClock, fn, *args, **kwargs) -> StopwatchResult:
     """Run ``fn(*args, **kwargs)`` and report the simulated time it charged."""
     before = clock.snapshot()
     value = fn(*args, **kwargs)
-    elapsed = clock.elapsed_since(before)
-    return StopwatchResult(value=value, elapsed=elapsed,
-                           categories=dict(elapsed.by_category))
+    return StopwatchResult(value=value, elapsed=clock.elapsed_since(before))

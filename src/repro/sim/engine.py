@@ -1,0 +1,602 @@
+"""The discrete-event kernel every timing layer runs on.
+
+One heap, one arbitration discipline, three client surfaces: the
+analytic multi-user model (:func:`repro.core.multiuser.simulate_concurrent`),
+the serving layer's virtual-time multiplexer
+(:func:`repro.serve.timeline.multiplex`), and the pipelined seal+transfer
+makespan (:mod:`repro.sim.pipeline`) are all thin adapters over the
+primitives here.  Before this kernel existed each of those layers had
+its own event loop, and two of them disagreed on simultaneous-event
+tie-breaks; the kernel's single ordering rule makes FIFO serving
+*exactly* equal to the retired oracle on every input (see
+``tests/property/test_prop_engine.py``).
+
+Primitives
+----------
+
+:class:`EventClock`
+    The event heap plus virtual ``now``.  Exposes the same
+    ``add_listener``/``remove_listener`` surface as
+    :class:`repro.sim.clock.SimClock`, so a
+    :class:`repro.sim.trace.TraceRecorder` attaches to virtual time
+    unchanged.
+:class:`Process`
+    A generator wrapped into the event loop.  The generator ``yield``\\ s
+    :class:`Wait` (timed suspension), :class:`Acquire` (submit a
+    :class:`Visit` to a :class:`Resource` and suspend until it is served
+    or expires), or :data:`BLOCK` (suspend until resumed externally).
+:class:`Resource`
+    An exclusive engine (the GPU execution engine, or one pipeline
+    stage).  Per-lane FIFO queues, a pluggable scheduler over the queue
+    heads, a context-switch charge on owner change, and lazy deadline
+    expiry at dispatch time.
+
+Ordering rule (the tie-break fix)
+---------------------------------
+
+Events order by ``(time, priority, seq)`` with ``seq`` allocated
+monotonically — FIFO-arrival order, with lane index seeding the order
+at t=0.  Three mechanisms make FIFO dispatch reproduce the retired
+oracle's pop order — which pre-reserved the engine the moment a GPU
+event popped — on *all* inputs, ties included:
+
+1. a visit arriving while the engine is free is served synchronously
+   inside its own arrival event (the oracle served at pop), so its
+   lane's continuation re-enters the heap before any later same-time
+   event allocates a rank;
+2. when the engine frees at time ``F``, the dispatch decision runs at
+   ``(F, PRIO_DISPATCH)`` — *before* normal events at ``F`` — because
+   the oracle granted those slots at earlier pops;
+3. every queued visit pre-allocates its continuation seq at arrival
+   (:meth:`Resource.submit`), and its lane resumes *inside* the
+   completion event carrying that seq, so the lane's next visit
+   competes under the rank the oracle would have allocated at that pop.
+
+FIFO then selects ``min (ready, seq)`` over the queue heads, which is
+exactly heap pop order of the arrival events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Generator,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.sim.trace import TraceEvent
+
+#: Engine-free dispatch decisions pop before same-time normal events:
+#: the slots they hand out were promised at earlier pops (the oracle's
+#: pre-reservation order).
+PRIO_DISPATCH = 0
+#: Process resumes, visit arrivals, completions.
+PRIO_NORMAL = 1
+#: Re-dispatch after deadline expiry: drain same-time resumes first,
+#: matching the retired multiplexer's drain-then-dispatch loop.
+PRIO_REDISPATCH = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled entry in the kernel heap."""
+
+    time: float
+    priority: int
+    seq: int
+
+    def __lt__(self, other: "Event") -> bool:
+        return ((self.time, self.priority, self.seq)
+                < (other.time, other.priority, other.seq))
+
+
+class EventClock:
+    """Virtual time: an event heap with SimClock's listener surface.
+
+    Listeners receive ``(start, seconds, category)`` exactly as
+    :class:`repro.sim.clock.SimClock` emits them, so a ``TraceRecorder``
+    (or any other charge consumer) attaches to a kernel run unchanged.
+    Unlike ``SimClock``, time here advances by popping events, not by
+    ``advance`` calls; charges describe work the processes placed on
+    the timeline.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0
+        self._heap: List[Tuple[Event, Callable[[Event], None]]] = []
+        self._seq = itertools.count()
+        self._listeners: List[Callable[[float, float, str], None]] = []
+
+    # -- seq allocation (the tie-break currency) ------------------------------
+
+    def allocate_seq(self) -> int:
+        """Claim the next position in arrival order."""
+        return next(self._seq)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, time: float, fn: Callable[[Event], None], *,
+                 priority: int = PRIO_NORMAL,
+                 seq: Optional[int] = None) -> Event:
+        """Schedule ``fn(event)`` at ``time``; returns the heap entry.
+
+        ``seq`` defaults to a fresh allocation; passing a pre-allocated
+        seq is how continuations keep their arrival-order rank.
+        """
+        event = Event(time, priority,
+                      self.allocate_seq() if seq is None else seq)
+        heapq.heappush(self._heap, (event, fn))
+        return event
+
+    def run(self) -> float:
+        """Drain the heap; returns the final virtual time."""
+        while self._heap:
+            event, fn = heapq.heappop(self._heap)
+            self.now = event.time
+            fn(event)
+        return self.now
+
+    # -- SimClock-compatible charge surface -----------------------------------
+
+    def charge(self, start: float, seconds: float, category: str) -> None:
+        """Report ``seconds`` of ``category`` work starting at ``start``."""
+        for listener in list(self._listeners):
+            listener(start, seconds, category)
+
+    def add_listener(self,
+                     listener: Callable[[float, float, str], None]) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self,
+                        listener: Callable[[float, float, str], None]) -> None:
+        self._listeners.remove(listener)
+
+
+@dataclass
+class Visit:
+    """A pending exclusive-engine visit; per-lane queue heads compete."""
+
+    tenant: int
+    seq: int              # arrival-event seq (FIFO tie-break)
+    ready: float          # when the host-side preparation finished
+    gpu_seconds: float
+    weight: float = 1.0
+    deadline: Optional[float] = None   # absolute virtual seconds
+    label: str = ""
+    on_outcome: Optional[Callable[[str], None]] = None
+    resume_seq: Optional[int] = None   # pre-allocated completion-event seq
+    # completion/expiry hooks, set by whoever submits the visit:
+    # on_complete(event) fires inside the completion event (whose seq is
+    # resume_seq); on_expire(now) fires at deadline expiry.
+    on_complete: Optional[Callable[[Event], None]] = None
+    on_expire: Optional[Callable[[float], None]] = None
+
+
+class Wait:
+    """``yield Wait(seconds)``: suspend the process for virtual time."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+
+
+class Acquire:
+    """``yield Acquire(resource, visit)``: submit and await the outcome.
+
+    The process suspends until the visit completes (resumed with
+    ``"served"`` inside the completion event, under the visit's
+    pre-allocated seq) or its deadline expires (resumed with
+    ``"timeout"``).
+    """
+
+    __slots__ = ("resource", "visit")
+
+    def __init__(self, resource: "Resource", visit: Visit) -> None:
+        self.resource = resource
+        self.visit = visit
+
+
+class _Block:
+    """``yield BLOCK``: suspend with no scheduled resume."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BLOCK"
+
+
+BLOCK = _Block()
+
+
+class Process:
+    """A generator driven by the kernel.
+
+    ``current_seq`` is the seq of the event the process is currently
+    executing under — the rank a visit submitted *now* competes with.
+    """
+
+    def __init__(self, kernel: EventClock,
+                 gen: Generator[Union[Wait, Acquire, _Block], object, None],
+                 name: str = "") -> None:
+        self._kernel = kernel
+        self._gen = gen
+        self.name = name
+        self.current_seq: Optional[int] = None
+        self.alive = True
+        self.finished_at: Optional[float] = None
+
+    def start(self, at: float = 0, *, seq: Optional[int] = None) -> None:
+        self._kernel.schedule(at, self._step, seq=seq)
+
+    def resume_at(self, time: float, value: object = None, *,
+                  seq: Optional[int] = None,
+                  priority: int = PRIO_NORMAL) -> None:
+        self._kernel.schedule(
+            time, lambda event: self._step(event, value),
+            priority=priority, seq=seq)
+
+    def resume_now(self, event: Event, value: object = None) -> None:
+        """Continue inside the current event (same time, same seq)."""
+        self._step(event, value)
+
+    def _step(self, event: Event, value: object = None) -> None:
+        self.current_seq = event.seq
+        try:
+            cmd = self._gen.send(value)
+        except StopIteration:
+            self.alive = False
+            self.finished_at = self._kernel.now
+            return
+        if isinstance(cmd, Wait):
+            self.resume_at(self._kernel.now + cmd.seconds)
+        elif isinstance(cmd, Acquire):
+            visit = cmd.visit
+            visit.on_complete = (
+                lambda ev: self.resume_now(ev, "served"))
+            visit.on_expire = (
+                lambda now: self.resume_at(now, "timeout"))
+            cmd.resource.submit(visit)
+        elif cmd is BLOCK:
+            pass  # whoever handed out BLOCK resumes us explicitly
+        else:
+            raise TypeError(f"process yielded {cmd!r}; "
+                            "expected Wait, Acquire, or BLOCK")
+
+
+class Resource:
+    """An exclusive engine: per-lane FIFO queues, one owner at a time.
+
+    The *scheduler* (any object with the
+    :meth:`repro.serve.scheduler.Scheduler.select` contract) picks among
+    the ready queue heads at each dispatch decision; ``None`` means
+    kernel-native FIFO (min ``(ready, seq)``).  A context switch is
+    charged whenever the engine changes owner — first occupancy is free,
+    matching Fermi's save/restore between non-empty contexts.
+    """
+
+    def __init__(self, kernel: EventClock, ctx_switch_cost: float = 0.0,
+                 scheduler=None,
+                 on_serve: Optional[Callable[[Visit, float, bool], None]]
+                 = None) -> None:
+        self._kernel = kernel
+        self.ctx_switch_cost = ctx_switch_cost
+        self._scheduler = scheduler
+        #: called as ``on_serve(visit, dispatch_at, switched)`` right
+        #: before service starts — the lane layer's accounting hook.
+        self._on_serve = on_serve
+        self._queues: Dict[int, Deque[Visit]] = {}
+        self.free_at: float = 0
+        self.resident: Optional[int] = None
+        self.switches = 0
+
+    def queue(self, lane: int) -> Deque[Visit]:
+        return self._queues.setdefault(lane, deque())
+
+    def submit(self, visit: Visit) -> None:
+        """Enqueue at the current event; serve synchronously if free.
+
+        Every visit pre-allocates its continuation seq here, at arrival
+        rank — the oracle pushed a user's next event (allocating the
+        next global seq) the moment its gpu event popped, not when the
+        engine finished serving it.
+        """
+        if visit.resume_seq is None:
+            visit.resume_seq = self._kernel.allocate_seq()
+        self.queue(visit.tenant).append(visit)
+        if self.free_at <= self._kernel.now:
+            self._dispatch()
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _select(self, candidates: List[Visit]) -> Visit:
+        if self._scheduler is None:
+            return min(candidates, key=lambda v: (v.ready, v.seq))
+        visit = self._scheduler.select(candidates, self.resident,
+                                       self._kernel.now)
+        if visit not in candidates:  # defensive: scheduler contract
+            raise ValueError(
+                f"scheduler {self._scheduler!r} returned a "
+                "non-candidate visit")
+        return visit
+
+    def _dispatch(self, event: Optional[Event] = None) -> None:
+        now = self._kernel.now
+        if self.free_at > now:
+            return  # stale decision: the engine was re-dispatched already
+        # Lazy expiry: queue heads whose deadline passed are abandoned,
+        # never served, and their lane is notified now.  Same-time
+        # resumes triggered by the expiry run before the engine is
+        # re-arbitrated (PRIO_REDISPATCH), as the retired multiplexer
+        # drained its heap before dispatching.
+        expired = False
+        for queue in self._queues.values():
+            while (queue and queue[0].deadline is not None
+                   and now > queue[0].deadline):
+                visit = queue.popleft()
+                if visit.on_outcome is not None:
+                    visit.on_outcome("timeout")
+                if visit.on_expire is not None:
+                    visit.on_expire(now)
+                expired = True
+        if expired:
+            self._kernel.schedule(now, self._dispatch,
+                                  priority=PRIO_REDISPATCH)
+            return
+        candidates = [q[0] for q in self._queues.values() if q]
+        if not candidates:
+            return
+        visit = self._select(candidates)
+        self._queues[visit.tenant].popleft()
+
+        start = now
+        switched = self.resident is not None and self.resident != visit.tenant
+        if switched:
+            self.switches += 1
+        if self._on_serve is not None:
+            self._on_serve(visit, start, switched)
+        if switched:
+            start += self.ctx_switch_cost
+        self.resident = visit.tenant
+        finish = start + visit.gpu_seconds
+        self.free_at = finish
+        if visit.on_outcome is not None:
+            visit.on_outcome("served")
+        # Engine-free arbitration first, then the lane's continuation
+        # under its arrival-rank seq.
+        self._kernel.schedule(finish, self._dispatch, priority=PRIO_DISPATCH)
+        self._kernel.schedule(
+            finish,
+            lambda ev, v=visit: (v.on_complete(ev)
+                                 if v.on_complete is not None else None),
+            seq=visit.resume_seq)
+
+
+# ---------------------------------------------------------------------------
+# Lane layer: tenant unit streams over one shared engine.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkUnit:
+    """One schedulable unit of tenant work.
+
+    ``host_seconds`` of sequential host work (overlappable across
+    tenants), followed by an optional exclusive GPU-engine visit of
+    ``gpu_seconds``.  ``gpu_seconds=None`` means no engine visit at all;
+    ``0.0`` is a real (zero-duration) visit that still occupies the
+    engine and can force a context switch — matching the analytic
+    model's treatment of zero-duration gpu segments.
+
+    ``deadline`` is relative to the moment the visit becomes ready: a
+    visit still queued ``deadline`` seconds after its host part finished
+    is abandoned (timeout) instead of served.  ``on_outcome`` is called
+    with ``"served"`` or ``"timeout"`` when the engine decides.
+    """
+
+    host_seconds: float
+    gpu_seconds: Optional[float] = None
+    label: str = ""
+    deadline: Optional[float] = None
+    on_outcome: Optional[Callable[[str], None]] = None
+
+
+@dataclass
+class TenantLane:
+    """One tenant's unit stream plus its service limits.
+
+    ``max_inflight`` caps how many GPU visits may be queued or in
+    service at once; host-side production stalls (backpressure) when
+    the cap is reached.  ``max_inflight=1`` gives the strict
+    host/gpu alternation of the analytic multi-user model.
+    """
+
+    units: Union[Iterable[WorkUnit], Iterator[WorkUnit]]
+    weight: float = 1.0
+    max_inflight: int = 1
+    name: str = ""
+
+
+@dataclass
+class LaneTimeline:
+    """Per-lane accounting over one kernel run."""
+
+    finish_time: float = 0.0
+    gpu_busy: float = 0.0
+    host_busy: float = 0.0
+    waits: float = 0.0
+
+
+@dataclass
+class LaneResult:
+    """Outcome of :func:`run_lanes`."""
+
+    makespan: float
+    timelines: List[LaneTimeline]
+    context_switches: int
+    served: List[int]
+    timed_out: List[int]
+    stall_seconds: List[float]           # host blocked on the inflight cap
+    events: List[Tuple[int, TraceEvent]] = field(default_factory=list)
+    processes: List[Process] = field(default_factory=list)
+
+
+class _LaneState:
+    """Mutable runtime of one lane (shared between hooks and process)."""
+
+    __slots__ = ("index", "spec", "timeline", "outstanding", "blocked",
+                 "stall_since", "stall", "served", "timed_out", "host_free",
+                 "process")
+
+    def __init__(self, index: int, spec: TenantLane) -> None:
+        self.index = index
+        self.spec = spec
+        self.timeline = LaneTimeline()
+        self.outstanding = 0
+        self.blocked = False
+        self.stall_since = 0.0
+        self.stall = 0.0
+        self.served = 0
+        self.timed_out = 0
+        self.host_free = 0.0
+        self.process: Optional[Process] = None
+
+
+def run_lanes(lanes: Sequence[TenantLane], scheduler,
+              ctx_switch_cost: float,
+              kernel: Optional[EventClock] = None) -> LaneResult:
+    """Run every lane to exhaustion over one shared engine.
+
+    This is the kernel-native core both public multiplexers wrap: each
+    lane becomes a real :class:`Process` pulling its unit stream in
+    virtual time (so a serving engine's streams execute sealed requests
+    at production time), all GPU visits arbitrate through one
+    :class:`Resource` under *scheduler*, and the accounting —
+    timelines, waits, stalls, context switches, per-lane trace events —
+    preserves the retired implementations' semantics.
+    """
+    kernel = kernel if kernel is not None else EventClock()
+    states = [_LaneState(i, lane) for i, lane in enumerate(lanes)]
+    lane_events: List[Tuple[int, TraceEvent]] = []
+
+    def record(tenant: int, start: float, seconds: float,
+               category: str) -> None:
+        if seconds > 0.0:
+            lane_events.append((tenant, TraceEvent(start, seconds, category)))
+            kernel.charge(start, seconds, category)
+
+    def on_serve(visit: Visit, dispatch_at: float, switched: bool) -> None:
+        state = states[visit.tenant]
+        state.timeline.waits += dispatch_at - visit.ready
+        start = dispatch_at
+        if switched:
+            record(visit.tenant, start, ctx_switch_cost, "ctx_switch")
+            start += ctx_switch_cost
+        finish = start + visit.gpu_seconds
+        state.timeline.gpu_busy += visit.gpu_seconds
+        state.timeline.finish_time = max(state.timeline.finish_time, finish)
+        record(visit.tenant, start, visit.gpu_seconds, "gpu")
+        state.served += 1
+
+    engine = Resource(kernel, ctx_switch_cost, scheduler, on_serve=on_serve)
+
+    def release_slot(state: _LaneState, now: float, outcome: str,
+                     event: Optional[Event] = None) -> None:
+        # The stall interval is handed to the resumed produce and only
+        # charged once it actually yields another unit: trailing blocks
+        # after an exhausted stream delayed nothing.
+        state.outstanding -= 1
+        if state.blocked:
+            state.blocked = False
+            stall = max(now - state.stall_since, 0.0)
+            if event is not None:
+                # Resume inside the completion event: same time, and the
+                # visit's pre-allocated seq keeps oracle arrival rank.
+                state.process.resume_now(event, (outcome, stall))
+            else:
+                state.process.resume_at(max(state.host_free, now),
+                                        (outcome, stall))
+
+    def on_complete(event: Event, state: _LaneState) -> None:
+        release_slot(state, event.time, "served", event)
+
+    def on_expire(now: float, state: _LaneState) -> None:
+        state.timed_out += 1
+        release_slot(state, now, "timeout")
+
+    def lane_process(state: _LaneState
+                     ) -> Generator[Union[Wait, Acquire, _Block],
+                                    object, None]:
+        spec = state.spec
+        units = iter(spec.units)
+        pending_stall: Optional[float] = None
+        while True:
+            try:
+                unit = next(units)
+            except StopIteration:
+                break
+            if pending_stall is not None:
+                state.stall += pending_stall
+                pending_stall = None
+            now = kernel.now
+            done = now + unit.host_seconds
+            state.timeline.host_busy += unit.host_seconds
+            state.timeline.finish_time = max(state.timeline.finish_time, done)
+            state.host_free = done
+            record(state.index, now, unit.host_seconds, "host")
+            if unit.gpu_seconds is None:
+                yield Wait(unit.host_seconds)
+                continue
+            if unit.host_seconds > 0.0:
+                # Arrive at the engine when the host part finishes; the
+                # arrival event's seq is the visit's FIFO rank.
+                yield Wait(unit.host_seconds)
+            visit = Visit(
+                tenant=state.index, seq=state.process.current_seq,
+                ready=done, gpu_seconds=unit.gpu_seconds, weight=spec.weight,
+                deadline=(None if unit.deadline is None
+                          else done + unit.deadline),
+                label=unit.label, on_outcome=unit.on_outcome)
+            visit.on_complete = lambda ev, s=state: on_complete(ev, s)
+            visit.on_expire = lambda at, s=state: on_expire(at, s)
+            state.outstanding += 1
+            engine.submit(visit)
+            if state.outstanding < spec.max_inflight:
+                yield Wait(0.0)
+            else:
+                state.blocked = True
+                state.stall_since = done
+                resumed = yield BLOCK
+                pending_stall = resumed[1]
+        state.timeline.finish_time = max(state.timeline.finish_time,
+                                         kernel.now)
+
+    for index, state in enumerate(states):
+        state.process = Process(kernel, lane_process(state),
+                                name=state.spec.name or f"lane{index}")
+    for state in states:  # t=0 wakeups in lane order (oracle user order)
+        state.process.start(0.0)
+
+    kernel.run()
+    makespan = max((s.timeline.finish_time for s in states), default=0.0)
+    return LaneResult(
+        makespan=makespan,
+        timelines=[s.timeline for s in states],
+        context_switches=engine.switches,
+        served=[s.served for s in states],
+        timed_out=[s.timed_out for s in states],
+        stall_seconds=[s.stall for s in states],
+        events=lane_events,
+        processes=[s.process for s in states])

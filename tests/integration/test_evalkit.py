@@ -22,7 +22,6 @@ from repro.evalkit.harness import (
 )
 from repro.evalkit.tables import all_tables, table2, table4, table5
 from repro.sim.costs import CostModel
-from repro.workloads import MatrixAdd
 from repro.workloads.rodinia import BackProp, Hotspot, Pathfinder
 
 INFLATION = 2048.0

@@ -8,7 +8,7 @@ abort the request at the crypto layer.
 
 import pytest
 
-from repro.errors import DriverError, GpuUnavailable
+from repro.errors import DriverError
 from repro.gpu.module import DevPtr
 from repro.system import Machine, MachineConfig
 

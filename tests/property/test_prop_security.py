@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import TgmrRegistrationError, TlbValidationError
 from repro.hw.mmu import AccessContext, AccessType, PageFlags
 from repro.hw.phys_mem import PAGE_SIZE
-from repro.pcie.config_space import Bar, CLASS_DISPLAY_VGA, Type0Config
+from repro.pcie.config_space import Bar, CLASS_DISPLAY_VGA
 from repro.pcie.device import Bdf, PcieFunction
 from repro.pcie.topology import build_topology
 

@@ -5,7 +5,10 @@ specific equivalences with the paper's analytic multi-user model
 (``repro.core.multiuser.simulate_concurrent``); this suite pins them
 down on randomized inputs:
 
-* FIFO on identical users reproduces the oracle's makespan exactly;
+* FIFO reproduces the oracle's makespan **exactly on all inputs** —
+  both run on the shared kernel (:mod:`repro.sim.engine`), whose single
+  simultaneous-event rule closed the historical tie-break divergence
+  (the kernel-vs-retired-oracle pins live in ``test_prop_engine.py``);
 * on single-visit-per-tenant inputs *every* work-conserving scheduler
   reproduces it exactly (busy periods of a work-conserving server do
   not depend on service order);
@@ -26,7 +29,6 @@ from repro.serve.scheduler import (
     RoundRobinScheduler,
 )
 from repro.serve.timeline import schedule_segments
-from repro.sim.costs import CostModel
 from repro.workloads.rodinia import rodinia_workloads
 
 MS = 1e-3
@@ -57,6 +59,25 @@ def identical_users(draw):
 
 
 @st.composite
+def arbitrary_users(draw):
+    """Independent tenants with unconstrained alternation and ties.
+
+    Zero-length segments and a coarse duration grid make simultaneous
+    events common, so this strategy exercises exactly the inputs the
+    pre-kernel multiplexer diverged on.
+    """
+    grid = st.sampled_from([0.0, 50 * US, 100 * US, 1 * MS])
+    n = draw(st.integers(min_value=1, max_value=5))
+    users = []
+    for _ in range(n):
+        m = draw(st.integers(min_value=0, max_value=8))
+        users.append([Segment(draw(st.sampled_from(["host", "gpu"])),
+                              draw(st.one_of(grid, durations)), "s")
+                      for _ in range(m)])
+    return users
+
+
+@st.composite
 def single_visit_users(draw):
     """Independent tenants, each one host segment then one gpu visit."""
     n = draw(st.integers(min_value=1, max_value=6))
@@ -71,7 +92,21 @@ class TestFifoMatchesOracle:
     def test_identical_users_exact(self, users, cost):
         oracle, _, _ = simulate_concurrent(users, cost)
         mine, _, _ = schedule_segments(users, FifoScheduler(), cost)
-        assert mine == pytest.approx(oracle, rel=1e-9, abs=1e-12)
+        assert mine == oracle
+
+    @given(users=arbitrary_users(), cost=switch_costs)
+    @settings(max_examples=200, deadline=None)
+    def test_all_inputs_exact(self, users, cost):
+        """No tie-free carve-out: FIFO serving equals the analytic
+        model bit for bit on every input, per-user fields included."""
+        oracle, o_timelines, o_stats = simulate_concurrent(users, cost)
+        mine, timelines, stats = schedule_segments(
+            users, FifoScheduler(), cost)
+        assert mine == oracle
+        assert stats == o_stats
+        for timeline, expected in zip(timelines, o_timelines):
+            assert timeline.finish_time == expected.finish_time
+            assert timeline.waits == expected.waits
 
 
 class TestSingleVisitOrderInvariance:

@@ -1,6 +1,5 @@
 """Property-based tests over system-level invariants (MMU, end-to-end)."""
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -7,7 +7,6 @@ the baseline's MPS-style shared context, and its absence under HIX.
 """
 
 import numpy as np
-import pytest
 
 from repro.errors import DriverError
 from repro.gpu.module import DevPtr

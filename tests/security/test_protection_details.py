@@ -1,6 +1,5 @@
 """Fine-grained security scenarios beyond the headline attack matrix."""
 
-import numpy as np
 import pytest
 
 from repro.core.channel import BULK_OFFSET, REQUEST_OFFSET

@@ -99,4 +99,4 @@ def test_time_call_reports_elapsed():
     result = time_call(clock, work)
     assert result.value == 42
     assert result.elapsed.total == pytest.approx(2.0)
-    assert result.categories == {"work": pytest.approx(2.0)}
+    assert result.elapsed.by_category == {"work": pytest.approx(2.0)}

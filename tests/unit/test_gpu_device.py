@@ -1,6 +1,5 @@
 """Unit tests for the simulated GPU device itself."""
 
-import struct
 
 import numpy as np
 import pytest
@@ -11,7 +10,7 @@ from repro.crypto.suite import make_suite
 from repro.gpu import regs
 from repro.gpu.bios import bios_hash, build_bios_image, is_valid_rom, tamper_bios
 from repro.gpu.commands import CommandOpcode, encode_command
-from repro.gpu.context import GpuContext, GpuPageTable
+from repro.gpu.context import GpuPageTable
 from repro.gpu.device import BULK_H2D_CHANNEL, DEVICE_GTX580, SimGpu
 from repro.gpu.module import CubinImage, DevPtr, pack_params
 from repro.errors import PageFault

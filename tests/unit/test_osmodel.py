@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ReproError, SgxError, TlbValidationError
+from repro.errors import SgxError, TlbValidationError
 from repro.hw.phys_mem import PAGE_SIZE
 from repro.sgx.enclave import EnclaveImage
 from repro.system import Machine, MachineConfig

@@ -5,8 +5,6 @@ import pytest
 from repro.errors import UnsupportedRequest
 from repro.pcie.config_space import Bar, CLASS_DISPLAY_VGA, REG_MEMORY_WINDOW
 from repro.pcie.device import Bdf, PcieFunction
-from repro.pcie.port import RootPort
-from repro.pcie.root_complex import RootComplex
 from repro.pcie.tlp import Tlp, TlpKind
 from repro.pcie.topology import bios_assign_resources, build_topology
 

@@ -8,6 +8,8 @@ Gives downstream users one entry point to every experiment::
     python -m repro ablations              # design-choice ablations
     python -m repro run pathfinder --mode hix   # one workload, w/ breakdown
     python -m repro serve --users 4        # multi-tenant serving demo
+    python -m repro trace serve --users 2  # export a Perfetto profile
+    python -m repro metrics                # metrics registry snapshot
     python -m repro list                   # available workloads
 """
 
@@ -107,6 +109,9 @@ def cmd_run(args) -> int:
           f"{counters['dma_bytes_written']} written")
     print(f"    zero-copy reads: {counters['phys_zero_copy_bytes']} bytes; "
           f"pages dropped by cleanse: {counters['phys_pages_dropped']}")
+    print(f"    engine: {counters['engine_events_processed']} events, "
+          f"{counters['engine_ctx_switches']} ctx switches, "
+          f"{counters['engine_deadline_expiries']} deadline expiries")
     return 0
 
 
@@ -128,6 +133,44 @@ def cmd_serve(args) -> int:
                            inflation=args.inflation).render())
         print()
         print(fair_crosscheck(workload, args.users).render())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run a demo/serve workload under the span tracer; export profiles."""
+    from repro.evalkit.profiles import profile_serve, profile_single
+    workload = _workload_by_name(args.workload)
+    if args.what == "serve":
+        artifact = profile_serve(workload, args.users,
+                                 scheduler=args.scheduler,
+                                 inflation=args.inflation,
+                                 out_dir=args.out)
+        print(artifact.result.render())
+    else:
+        artifact = profile_single(workload, args.mode, args.inflation,
+                                  out_dir=args.out)
+        result = artifact.result
+        print(f"{workload.name} on {args.mode}: "
+              f"{result.milliseconds:.3f} ms simulated")
+    print(artifact.describe())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run a workload, then print the metrics registry snapshot."""
+    from repro.evalkit.harness import run_single
+    from repro.obs import metrics as obs_metrics
+    from repro.system import Machine, MachineConfig
+    obs_metrics.reset_registry()
+    workload = _workload_by_name(args.workload)
+    machine = Machine(MachineConfig(data_inflation=args.inflation))
+    run_single(workload, args.mode, args.inflation, machine=machine)
+    registry = obs_metrics.registry()
+    if args.json:
+        import json
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(registry.render())
     return 0
 
 
@@ -226,6 +269,33 @@ def build_parser() -> argparse.ArgumentParser:
                        default="fair")
     serve.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
     serve.set_defaults(fn=cmd_serve)
+
+    trace = sub.add_parser(
+        "trace", help="run under the span tracer and export a "
+        "Perfetto-loadable profile")
+    trace.add_argument("what", choices=["demo", "serve"],
+                       help="'demo': one single-user run; 'serve': a "
+                       "multi-tenant serving run with per-tenant tracks")
+    trace.add_argument("--workload", default="backprop")
+    trace.add_argument("--mode", choices=["gdev", "hix"], default="hix")
+    trace.add_argument("--users", type=int, default=2)
+    trace.add_argument("--scheduler",
+                       choices=["fifo", "round-robin", "fair"],
+                       default="fair")
+    trace.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
+    trace.add_argument("--out", default="benchmarks/out/profiles",
+                       help="directory for the exported artifacts")
+    trace.set_defaults(fn=cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run one workload and print the metrics registry")
+    metrics.add_argument("--workload", default="backprop")
+    metrics.add_argument("--mode", choices=["gdev", "hix"], default="hix")
+    metrics.add_argument("--inflation", type=float,
+                         default=DEFAULT_INFLATION)
+    metrics.add_argument("--json", action="store_true",
+                         help="print the snapshot as JSON")
+    metrics.set_defaults(fn=cmd_metrics)
 
     sub.add_parser("list", help="list available workloads").set_defaults(
         fn=cmd_list)

@@ -52,6 +52,7 @@ from repro.errors import (
     RequestRejected,
 )
 from repro.gpu.module import DevPtr, ParamValue
+from repro.obs.tracer import STATE as _OBS
 from repro.osmodel.kernel import Kernel
 from repro.osmodel.process import Process
 from repro.sim.clock import SimClock
@@ -141,6 +142,13 @@ class HixApi:
 
     def cuCtxCreate(self) -> "HixApi":
         """Attested session setup + 3-party key exchange (Section 4.4.1)."""
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._cuCtxCreate()
+        with tracer.span("hix.cuCtxCreate", "hix", pid=self._process.pid):
+            return self._cuCtxCreate()
+
+    def _cuCtxCreate(self) -> "HixApi":
         if self._end is not None:
             raise DriverError("context already created")
         if self._costs is not None:
@@ -194,6 +202,13 @@ class HixApi:
     def cuCtxDestroy(self) -> None:
         if self._end is None:
             return
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._cuCtxDestroy()
+        with tracer.span("hix.cuCtxDestroy", "hix", ctx_id=self._ctx_id):
+            return self._cuCtxDestroy()
+
+    def _cuCtxDestroy(self) -> None:
         self._request({"op": protocol.OP_CTX_DESTROY})
         self._end = None
         self._crypto = None
@@ -267,6 +282,14 @@ class HixApi:
         copies) and every chunk is sealed into one reused per-session
         frame buffer instead of a fresh blob allocation.
         """
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._cuMemcpyHtoD(dptr, data)
+        with tracer.span("hix.cuMemcpyHtoD", "hix", ctx_id=self._ctx_id,
+                         bytes=_as_buffer(data).nbytes):
+            return self._cuMemcpyHtoD(dptr, data)
+
+    def _cuMemcpyHtoD(self, dptr: DevPtr, data: HostBuffer) -> None:
         raw = _as_buffer(data)
         total = raw.nbytes
         limit = self._bulk_chunk_limit()
@@ -300,6 +323,14 @@ class HixApi:
 
     def cuMemcpyDtoH(self, dptr: DevPtr, nbytes: int) -> bytes:
         """Single-copy secure device-to-host transfer."""
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._cuMemcpyDtoH(dptr, nbytes)
+        with tracer.span("hix.cuMemcpyDtoH", "hix", ctx_id=self._ctx_id,
+                         bytes=nbytes):
+            return self._cuMemcpyDtoH(dptr, nbytes)
+
+    def _cuMemcpyDtoH(self, dptr: DevPtr, nbytes: int) -> bytes:
         limit = self._bulk_chunk_limit()
         out = bytearray(nbytes)
         view = memoryview(out)
@@ -342,6 +373,18 @@ class HixApi:
     def cuLaunchKernel(self, module: HixModuleHandle, kernel_name: str,
                        params: Sequence[ParamValue],
                        compute_seconds: float = 0.0) -> None:
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._cuLaunchKernel(module, kernel_name, params,
+                                        compute_seconds)
+        with tracer.span("hix.cuLaunchKernel", "hix", ctx_id=self._ctx_id,
+                         kernel=kernel_name):
+            return self._cuLaunchKernel(module, kernel_name, params,
+                                        compute_seconds)
+
+    def _cuLaunchKernel(self, module: HixModuleHandle, kernel_name: str,
+                        params: Sequence[ParamValue],
+                        compute_seconds: float = 0.0) -> None:
         if self._costs is not None:
             self._charge(self._costs.kernel_launch_hix, "launch")
         self._request({"op": protocol.OP_LAUNCH,

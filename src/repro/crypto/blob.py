@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 from repro.crypto.nonce import NONCE_LEN, NonceSequence, ReplayGuard
 from repro.crypto.suite import AeadSuite, TAG_LEN
 from repro.errors import IntegrityError
+from repro.obs.tracer import STATE as _OBS
 
 _MAGIC = 0x48534231  # "HSB1"
 _HEADER = struct.Struct(f"<I{NONCE_LEN}s{TAG_LEN}sQ")
@@ -35,6 +36,15 @@ def sealed_size(plaintext_len: int) -> int:
 def seal_blob(suite: AeadSuite, nonces: NonceSequence, plaintext: bytes,
               associated_data: bytes = b"") -> bytes:
     """Encrypt *plaintext* into a framed blob with a fresh nonce."""
+    tracer = _OBS.tracer
+    if tracer is None:
+        return _seal_blob(suite, nonces, plaintext, associated_data)
+    with tracer.span("aead.seal", "aead", bytes=len(plaintext)):
+        return _seal_blob(suite, nonces, plaintext, associated_data)
+
+
+def _seal_blob(suite: AeadSuite, nonces: NonceSequence, plaintext: bytes,
+               associated_data: bytes = b"") -> bytes:
     nonce = nonces.next()
     ciphertext, tag = suite.seal(nonce, plaintext, associated_data)
     return _HEADER.pack(_MAGIC, nonce, tag, len(ciphertext)) + ciphertext
@@ -49,6 +59,16 @@ def seal_blob_into(suite: AeadSuite, nonces: NonceSequence, plaintext,
     of concatenating fresh ``bytes`` per chunk, so steady-state sealing
     allocates only the ciphertext the AEAD engine itself produces.
     """
+    tracer = _OBS.tracer
+    if tracer is None:
+        return _seal_blob_into(suite, nonces, plaintext, out, associated_data)
+    with tracer.span("aead.seal", "aead",
+                     bytes=memoryview(plaintext).nbytes):
+        return _seal_blob_into(suite, nonces, plaintext, out, associated_data)
+
+
+def _seal_blob_into(suite: AeadSuite, nonces: NonceSequence, plaintext,
+                    out: bytearray, associated_data: bytes = b"") -> int:
     nonce = nonces.next()
     ciphertext, tag = suite.seal(nonce, plaintext, associated_data)
     total = HEADER_LEN + len(ciphertext)
@@ -75,6 +95,15 @@ def parse_blob(raw: bytes) -> Tuple[bytes, bytes, bytes]:
 def open_blob(suite: AeadSuite, raw: bytes, associated_data: bytes = b"",
               replay_guard: Optional[ReplayGuard] = None) -> bytes:
     """Verify and decrypt a framed blob (optionally checking freshness)."""
+    tracer = _OBS.tracer
+    if tracer is None:
+        return _open_blob(suite, raw, associated_data, replay_guard)
+    with tracer.span("aead.open", "aead", bytes=len(raw)):
+        return _open_blob(suite, raw, associated_data, replay_guard)
+
+
+def _open_blob(suite: AeadSuite, raw: bytes, associated_data: bytes = b"",
+               replay_guard: Optional[ReplayGuard] = None) -> bytes:
     nonce, tag, ciphertext = parse_blob(raw)
     if replay_guard is not None:
         replay_guard.check(nonce)

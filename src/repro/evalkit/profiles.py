@@ -1,0 +1,137 @@
+"""Profile artifacts: evaluation runs under the span tracer.
+
+Wraps the harness (:func:`~repro.evalkit.harness.run_single`) and the
+serving sweep (:func:`~repro.evalkit.serve_sweep.serve_run`) so any
+figure or demo run can be replayed with the :mod:`repro.obs` tracer
+attached and exported as a Perfetto-loadable Chrome trace, a JSONL span
+dump, and a metrics snapshot.  The CLI's ``repro trace`` command is a
+thin shell over these functions.
+
+Tracing never perturbs the measurement: the tracer is installed around
+the run with save/restore semantics (the previous tracer, usually
+``None``, comes back even on error), and the simulated-time results are
+bit-identical with tracing on or off — pinned by the unit suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.evalkit.harness import DEFAULT_INFLATION, HIX, run_single
+from repro.evalkit.serve_sweep import SWEEP_QUOTA, serve_run
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import write_chrome, write_jsonl, write_metrics
+from repro.obs.tracer import Span, SpanTracer, set_tracer
+from repro.system import Machine, MachineConfig
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ProfileArtifact:
+    """One profiled run: the result, its span forest, and the metrics."""
+
+    label: str
+    result: object
+    spans: List[Span]
+    metrics: Dict[str, object]
+    chrome_path: Optional[Path] = None
+    jsonl_path: Optional[Path] = None
+    metrics_path: Optional[Path] = None
+    written: List[Path] = field(default_factory=list)
+
+    def describe(self) -> str:
+        count = sum(1 for root in self.spans for _ in root.walk())
+        lines = [f"profile {self.label}: {count} spans, "
+                 f"{len(self.metrics)} metrics"]
+        for path in self.written:
+            lines.append(f"  wrote {path}")
+        return "\n".join(lines)
+
+
+def _profiled(machine: Machine, run):
+    """Run *run()* with a fresh tracer attached to *machine*'s clock.
+
+    Returns ``(result, tracer)``.  The previously-installed tracer is
+    restored even if the run raises.
+    """
+    tracer = SpanTracer()
+    tracer.attach(machine.clock)
+    previous = set_tracer(tracer)
+    try:
+        result = run()
+    finally:
+        set_tracer(previous)
+        tracer.detach()
+    return result, tracer
+
+
+def _export(artifact: ProfileArtifact, out_dir, stem: str) -> ProfileArtifact:
+    if out_dir is None:
+        return artifact
+    out_dir = Path(out_dir)
+    registry = obs_metrics.registry()
+    artifact.chrome_path = write_chrome(
+        out_dir / f"{stem}.trace.json", artifact.spans, metrics=registry)
+    artifact.jsonl_path = write_jsonl(
+        out_dir / f"{stem}.spans.jsonl", artifact.spans)
+    artifact.metrics_path = write_metrics(
+        out_dir / f"{stem}.metrics.json", registry)
+    artifact.written = [artifact.chrome_path, artifact.jsonl_path,
+                        artifact.metrics_path]
+    return artifact
+
+
+def profile_single(workload: Workload, mode: str = HIX,
+                   inflation: float = DEFAULT_INFLATION,
+                   out_dir: Union[str, Path, None] = None) -> ProfileArtifact:
+    """One single-user workload run with the tracer attached.
+
+    The metrics registry is reset first so the exported snapshot
+    describes exactly this run (the machine re-registers its
+    ``fastpath.*`` gauges on construction).
+    """
+    obs_metrics.reset_registry()
+    machine = Machine(MachineConfig(data_inflation=inflation))
+    result, tracer = _profiled(
+        machine,
+        lambda: run_single(workload, mode, inflation, machine=machine))
+    artifact = ProfileArtifact(
+        label=f"{workload.name}-{mode}",
+        result=result,
+        spans=list(tracer.roots),
+        metrics=obs_metrics.registry().snapshot(),
+    )
+    return _export(artifact, out_dir, f"single-{workload.name}-{mode}")
+
+
+def profile_serve(workload: Workload, num_users: int,
+                  scheduler: str = "fair",
+                  inflation: float = DEFAULT_INFLATION,
+                  out_dir: Union[str, Path, None] = None) -> ProfileArtifact:
+    """One serving run with the tracer attached and lanes exported.
+
+    The span forest carries all three Chrome tracks: the request
+    lifecycles measured at production time (``serve.*`` spans under
+    pid "tenant production"), the hardware-layer spans under them, and
+    the virtual-time schedule events ``run_lanes`` emits into per-tenant
+    tracks (pid "tenant lanes") — the same interleaving
+    :func:`repro.sim.trace.render_lanes` draws in ASCII.
+    """
+    obs_metrics.reset_registry()
+    machine = Machine(MachineConfig(data_inflation=inflation))
+    report, tracer = _profiled(
+        machine,
+        lambda: serve_run(workload, num_users, scheduler=scheduler,
+                          inflation=inflation, quota=SWEEP_QUOTA,
+                          machine=machine))
+    spans = list(tracer.roots)
+    artifact = ProfileArtifact(
+        label=f"serve-{workload.name}-{num_users}u-{scheduler}",
+        result=report,
+        spans=spans,
+        metrics=obs_metrics.registry().snapshot(),
+    )
+    return _export(artifact, out_dir,
+                   f"serve-{workload.name}-{num_users}u-{scheduler}")

@@ -49,17 +49,21 @@ def serve_run(workload: Workload, num_users: int,
               inflation: float = DEFAULT_INFLATION,
               costs: Optional[CostModel] = None,
               quota: Optional[TenantQuota] = None,
-              crypto_efficiency: Optional[float] = None) -> ServeReport:
+              crypto_efficiency: Optional[float] = None,
+              machine: Optional[Machine] = None) -> ServeReport:
     """One serving run: *num_users* tenants, each submitting *workload*.
 
-    Builds a fresh machine, admits ``user0..userN-1`` with *quota*
-    (default :data:`SWEEP_QUOTA`), decomposes the workload into each
-    tenant's request stream, and runs the engine.
+    Builds a fresh machine (unless *machine* is supplied — profiling
+    runs pass one in so a tracer can already be attached to its clock),
+    admits ``user0..userN-1`` with *quota* (default :data:`SWEEP_QUOTA`),
+    decomposes the workload into each tenant's request stream, and runs
+    the engine.
     """
-    config = MachineConfig(data_inflation=inflation)
-    if costs is not None:
-        config = MachineConfig(data_inflation=inflation, costs=costs)
-    machine = Machine(config)
+    if machine is None:
+        config = MachineConfig(data_inflation=inflation)
+        if costs is not None:
+            config = MachineConfig(data_inflation=inflation, costs=costs)
+        machine = Machine(config)
     engine = ServeEngine(machine, scheduler=scheduler,
                          max_tenants=max(num_users, 1),
                          default_quota=quota or SWEEP_QUOTA,

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import DriverError
 from repro.gdev.driver import GdevContextHandle, GdevDriver, GdevModule
 from repro.gpu.module import CubinImage, DevPtr, ParamValue
+from repro.obs.tracer import STATE as _OBS
 from repro.osmodel.process import Process
 
 HostBuffer = Union[bytes, bytearray, np.ndarray]
@@ -83,10 +84,19 @@ class GdevApi:
         self._driver.free(self.ctx, dptr.addr)
 
     def cuMemcpyHtoD(self, dptr: DevPtr, data: HostBuffer) -> None:
-        self._driver.memcpy_h2d(self.ctx, dptr.addr, _as_bytes(data))
+        payload = _as_bytes(data)
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._driver.memcpy_h2d(self.ctx, dptr.addr, payload)
+        with tracer.span("gdev.cuMemcpyHtoD", "gdev", bytes=len(payload)):
+            return self._driver.memcpy_h2d(self.ctx, dptr.addr, payload)
 
     def cuMemcpyDtoH(self, dptr: DevPtr, nbytes: int) -> bytes:
-        return self._driver.memcpy_d2h(self.ctx, dptr.addr, nbytes)
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._driver.memcpy_d2h(self.ctx, dptr.addr, nbytes)
+        with tracer.span("gdev.cuMemcpyDtoH", "gdev", bytes=nbytes):
+            return self._driver.memcpy_d2h(self.ctx, dptr.addr, nbytes)
 
     # -- modules / kernels -----------------------------------------------------------
 
@@ -96,5 +106,10 @@ class GdevApi:
     def cuLaunchKernel(self, module: GdevModule, kernel_name: str,
                        params: Sequence[ParamValue],
                        compute_seconds: float = 0.0) -> None:
-        self._driver.launch(self.ctx, module, kernel_name, params,
-                            compute_seconds=compute_seconds)
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._driver.launch(self.ctx, module, kernel_name, params,
+                                       compute_seconds=compute_seconds)
+        with tracer.span("gdev.cuLaunchKernel", "gdev", kernel=kernel_name):
+            return self._driver.launch(self.ctx, module, kernel_name, params,
+                                       compute_seconds=compute_seconds)

@@ -1,0 +1,52 @@
+"""Unified observability: span tracing, metrics, exportable profiles.
+
+Three pieces, one import::
+
+    from repro import obs
+
+    tracer = obs.enable(machine.clock)      # span tracer on the clock
+    with obs.span("request", "serve", tenant="user0"):
+        ...                                  # charges nest underneath
+    obs.disable()
+
+    obs.registry().counter("my.counter").inc()
+    print(obs.registry().render())           # flat metrics snapshot
+
+    from repro.obs import export
+    export.write_chrome("trace.json", tracer.roots)   # open in Perfetto
+
+Tracing is opt-in and zero-cost when disabled (see
+:mod:`repro.obs.tracer`); the metrics registry is always on and cheap
+(see :mod:`repro.obs.metrics`).  ``docs/OBSERVABILITY.md`` covers the
+span model, the category taxonomy, and the exporter formats.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+    set_registry,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    STATE,
+    Span,
+    SpanTracer,
+    disable,
+    enable,
+    set_tracer,
+    span,
+    tracer,
+)
+
+__all__ = [
+    "Span", "SpanTracer", "NULL_SPAN", "STATE",
+    "tracer", "set_tracer", "enable", "disable", "span",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "registry", "set_registry", "reset_registry",
+]

@@ -54,6 +54,8 @@ from repro.errors import (
     QueueFullError,
     RequestRejected,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import span as _span
 from repro.serve.queues import (
     BACKPRESSURE,
     DENIED,
@@ -305,7 +307,8 @@ class ServeEngine:
         api = machine.hix_session(
             self._service, name=client.name,
             channel_queue_depth=self._channel_queue_depth)
-        api.cuCtxCreate()
+        with _span("serve.session-setup", "serve", tenant=client.name):
+            api.cuCtxCreate()
         host, gpu = self._split(clock.elapsed_since(snap), crypto_eff)
         # Session setup is serial host work (attestation + DH); any
         # engine seconds it charged are folded in rather than scheduled.
@@ -318,26 +321,28 @@ class ServeEngine:
         while client.queue:
             request = client.queue.pop()
             snap = clock.snapshot()
-            clock.advance(costs.serve_dispatch_latency, "serve_dispatch")
-            if request.extra_host_seconds > 0.0:
-                clock.advance(request.extra_host_seconds, "launch")
-            ok = True
-            try:
-                request.result = request.fn(guarded)
-            except AdmissionError as exc:
-                ok = False
-                request.outcome = DENIED
-                request.error = str(exc)
-            except QueueFullError as exc:
-                # Channel backlog is the lower level's backpressure;
-                # surface it as such rather than as a protocol fault.
-                ok = False
-                request.outcome = BACKPRESSURE
-                request.error = str(exc)
-            except (RequestRejected, DriverError) as exc:
-                ok = False
-                request.outcome = FAILED
-                request.error = str(exc)
+            with _span("serve.request", "serve", tenant=client.name,
+                       request=request.label, seq=request.seq):
+                clock.advance(costs.serve_dispatch_latency, "serve_dispatch")
+                if request.extra_host_seconds > 0.0:
+                    clock.advance(request.extra_host_seconds, "launch")
+                ok = True
+                try:
+                    request.result = request.fn(guarded)
+                except AdmissionError as exc:
+                    ok = False
+                    request.outcome = DENIED
+                    request.error = str(exc)
+                except QueueFullError as exc:
+                    # Channel backlog is the lower level's backpressure;
+                    # surface it as such rather than as a protocol fault.
+                    ok = False
+                    request.outcome = BACKPRESSURE
+                    request.error = str(exc)
+                except (RequestRejected, DriverError) as exc:
+                    ok = False
+                    request.outcome = FAILED
+                    request.error = str(exc)
             host, gpu = self._split(clock.elapsed_since(snap), crypto_eff)
             request.host_seconds = host
             request.gpu_seconds = gpu
@@ -360,8 +365,9 @@ class ServeEngine:
                            deadline=request.timeout, on_outcome=settle)
 
         snap = clock.snapshot()
-        api.cuCtxDestroy()
-        self.table.close_context(client.record)
+        with _span("serve.teardown", "serve", tenant=client.name):
+            api.cuCtxDestroy()
+            self.table.close_context(client.record)
         host, gpu = self._split(clock.elapsed_since(snap), crypto_eff)
         yield WorkUnit(host + gpu, None, "teardown")
 
@@ -418,7 +424,7 @@ class ServeEngine:
                 peak_memory=client.record.peak_memory,
                 quota_denials=client.record.quota_denials,
             ))
-        return ServeReport(
+        report = ServeReport(
             scheduler=self._scheduler.name,
             makespan=result.makespan,
             context_switches=result.context_switches,
@@ -426,3 +432,38 @@ class ServeEngine:
             tenants=tenants,
             lanes=lane_events,
         )
+        self._publish_metrics(report)
+        return report
+
+    def _publish_metrics(self, report: ServeReport) -> None:
+        """Mirror the run's report into the process metrics registry.
+
+        Counters accumulate across runs (they are process totals, like
+        the engine's kernel counters); the gauges describe the most
+        recent run.  Pure observability — nothing reads these back into
+        scheduling decisions.
+        """
+        registry = obs_metrics.registry()
+        outcome_counters = (
+            ("serve.requests_served", lambda t: t.served),
+            ("serve.requests_timed_out", lambda t: t.timed_out),
+            ("serve.requests_denied", lambda t: t.denied),
+            ("serve.requests_backpressured", lambda t: t.backpressured),
+            ("serve.requests_failed", lambda t: t.failed),
+        )
+        for name, getter in outcome_counters:
+            total = sum(getter(t) for t in report.tenants)
+            if total:
+                registry.counter(name).inc(total)
+        registry.counter("serve.ctx_switches").inc(report.context_switches)
+        registry.gauge("serve.makespan_seconds").set(report.makespan)
+        registry.gauge("serve.gpu_utilization").set(report.gpu_utilization)
+        gpu_hist = registry.histogram("serve.request_gpu_seconds")
+        host_hist = registry.histogram("serve.request_host_seconds")
+        wait_hist = registry.histogram("serve.tenant_wait_seconds")
+        for client in self._clients:
+            for request in client.requests:
+                gpu_hist.observe(request.gpu_seconds)
+                host_hist.observe(request.host_seconds)
+        for tenant in report.tenants:
+            wait_hist.observe(tenant.waits)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Deque, Optional
 
 from repro.errors import BackpressureError
+from repro.obs import metrics as obs_metrics
 
 # Request outcomes, settled by the engine run.
 PENDING = "pending"
@@ -72,14 +73,17 @@ class RequestQueue:
 
     def submit(self, request: ServeRequest) -> ServeRequest:
         """Enqueue, or raise :class:`BackpressureError` if full."""
+        registry = obs_metrics.registry()
         if len(self._entries) >= self.depth:
             self.counters.rejected += 1
+            registry.counter("serve.queue_rejected").inc()
             raise BackpressureError(
                 f"request queue full ({self.depth} pending); "
                 f"rejected {request.label!r}")
         request.seq = self._seq
         self._seq += 1
         self.counters.accepted += 1
+        registry.counter("serve.queue_accepted").inc()
         self._entries.append(request)
         return request
 

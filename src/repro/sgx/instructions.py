@@ -24,6 +24,7 @@ Instruction set implemented (paper Sections 2.1 and 4.2.1):
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from typing import Callable, Dict, Optional
 
@@ -35,6 +36,7 @@ from repro.errors import (
 )
 from repro.hw.mmu import AccessContext, AccessType, PageFlags
 from repro.hw.phys_mem import PAGE_SIZE
+from repro.obs.tracer import STATE as _OBS
 from repro.pcie.device import Bdf
 from repro.pcie.root_complex import RootComplex
 from repro.sgx.epc import Epc, PageType
@@ -42,6 +44,24 @@ from repro.sgx.hix_ext import GecsEntry, HixExtension
 from repro.sgx.secs import Secs
 
 _SOFTWARE_VISIBLE_TYPES = (PageType.REG, PageType.TCS)
+
+
+def _traced(name: str):
+    """Open an ``sgx``-category span around an instruction when tracing.
+
+    Disabled-tracer cost is one attribute load and a branch, so the
+    instruction dispatch path stays effectively free without a tracer.
+    """
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(self, *args, **kwargs):
+            tracer = _OBS.tracer
+            if tracer is None:
+                return fn(self, *args, **kwargs)
+            with tracer.span(name, "sgx"):
+                return fn(self, *args, **kwargs)
+        return inner
+    return wrap
 
 
 class SgxUnit:
@@ -80,6 +100,7 @@ class SgxUnit:
 
     # -- lifecycle instructions -------------------------------------------------
 
+    @_traced("sgx.ecreate")
     def ecreate(self, base: int, size: int, owner_pid: Optional[int] = None) -> Secs:
         """ECREATE: allocate a SECS page and open the enclave's measurement."""
         self._charge("sgx_instruction_latency")
@@ -94,6 +115,7 @@ class SgxUnit:
         self._enclaves[enclave_id] = secs
         return secs
 
+    @_traced("sgx.eadd")
     def eadd(self, enclave_id: int, vaddr: int,
              page_type: PageType = PageType.REG) -> int:
         """EADD: bind a fresh EPC page at *vaddr*; returns its paddr."""
@@ -107,6 +129,7 @@ class SgxUnit:
         secs.measurement.record_eadd(vaddr - secs.base, page_type.value)
         return paddr
 
+    @_traced("sgx.eextend")
     def eextend(self, enclave_id: int, vaddr: int, content: bytes) -> None:
         """EEXTEND: fold page content into the measurement."""
         self._charge("sgx_instruction_latency")
@@ -115,6 +138,7 @@ class SgxUnit:
             raise EnclaveStateError("EEXTEND after EINIT")
         secs.measurement.record_eextend(vaddr - secs.base, content)
 
+    @_traced("sgx.einit")
     def einit(self, enclave_id: int) -> bytes:
         """EINIT: freeze the measurement; the enclave becomes enterable."""
         self._charge("sgx_instruction_latency")
@@ -124,6 +148,7 @@ class SgxUnit:
         secs.initialized = True
         return secs.measurement.finalize()
 
+    @_traced("sgx.eenter")
     def eenter(self, enclave_id: int, asid: int) -> AccessContext:
         """EENTER: returns the enclave-mode access context for the CPU."""
         self._charge("enclave_transition")
@@ -134,6 +159,7 @@ class SgxUnit:
             raise EnclaveStateError(f"enclave {enclave_id} has been destroyed")
         return AccessContext(asid=asid, enclave_id=enclave_id)
 
+    @_traced("sgx.eexit")
     def eexit(self, asid: int) -> AccessContext:
         """EEXIT: back to an untrusted user context."""
         self._charge("enclave_transition")
@@ -157,6 +183,7 @@ class SgxUnit:
         return hkdf_sha256(self._platform_key, info=b"report" + target_measurement,
                            length=32)
 
+    @_traced("sgx.ereport")
     def ereport(self, enclave_id: int, target_measurement: bytes,
                 report_data: bytes):
         """EREPORT: build a report only the target enclave can verify."""
@@ -181,6 +208,7 @@ class SgxUnit:
 
     # -- HIX instructions -----------------------------------------------------------
 
+    @_traced("sgx.egcreate")
     def egcreate(self, enclave_id: int, gpu_bdf: Bdf) -> GecsEntry:
         """EGCREATE: register *gpu_bdf* to this enclave and lock the path."""
         self._charge("sgx_instruction_latency")
@@ -199,6 +227,7 @@ class SgxUnit:
         secs.is_gpu_enclave = True
         return entry
 
+    @_traced("sgx.egadd")
     def egadd(self, enclave_id: int, vaddr: int, paddr: int,
               npages: int = 1):
         """EGADD: register trusted GPU MMIO pages in the TGMR."""
@@ -212,6 +241,7 @@ class SgxUnit:
             enclave_id, vaddr, paddr, npages, self._root_complex,
             elrange_check=lambda va: secs.elrange_contains(va, PAGE_SIZE))
 
+    @_traced("sgx.egdestroy")
     def egdestroy(self, enclave_id: int) -> None:
         """Graceful GPU release issued by the live owning GPU enclave.
 

@@ -76,6 +76,8 @@ from typing import (
     Union,
 )
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import STATE as _OBS
 from repro.sim.trace import TraceEvent
 
 #: Engine-free dispatch decisions pop before same-time normal events:
@@ -118,6 +120,11 @@ class EventClock:
         self._heap: List[Tuple[Event, Callable[[Event], None]]] = []
         self._seq = itertools.count()
         self._listeners: List[Callable[[float, float, str], None]] = []
+        self.events_processed = 0
+        # The process-wide registry counter is resolved once per kernel;
+        # run() batches into a local and flushes one add.
+        self._events_counter = obs_metrics.registry().counter(
+            "engine.events_processed")
 
     # -- seq allocation (the tie-break currency) ------------------------------
 
@@ -142,10 +149,16 @@ class EventClock:
 
     def run(self) -> float:
         """Drain the heap; returns the final virtual time."""
-        while self._heap:
-            event, fn = heapq.heappop(self._heap)
+        heap = self._heap
+        processed = 0
+        while heap:
+            event, fn = heapq.heappop(heap)
             self.now = event.time
             fn(event)
+            processed += 1
+        if processed:
+            self.events_processed += processed
+            self._events_counter.inc(processed)
         return self.now
 
     # -- SimClock-compatible charge surface -----------------------------------
@@ -301,6 +314,10 @@ class Resource:
         self.free_at: float = 0
         self.resident: Optional[int] = None
         self.switches = 0
+        self.expiries = 0
+        registry = obs_metrics.registry()
+        self._switch_counter = registry.counter("engine.ctx_switches")
+        self._expiry_counter = registry.counter("engine.deadline_expiries")
 
     def queue(self, lane: int) -> Deque[Visit]:
         return self._queues.setdefault(lane, deque())
@@ -346,6 +363,8 @@ class Resource:
             while (queue and queue[0].deadline is not None
                    and now > queue[0].deadline):
                 visit = queue.popleft()
+                self.expiries += 1
+                self._expiry_counter.inc()
                 if visit.on_outcome is not None:
                     visit.on_outcome("timeout")
                 if visit.on_expire is not None:
@@ -365,6 +384,12 @@ class Resource:
         switched = self.resident is not None and self.resident != visit.tenant
         if switched:
             self.switches += 1
+            self._switch_counter.inc()
+        tracer = _OBS.tracer
+        if tracer is not None:
+            tracer.event("engine.dispatch", "engine", now, 0.0,
+                         tenant_index=visit.tenant, label=visit.label,
+                         switched=switched, waited=now - visit.ready)
         if self._on_serve is not None:
             self._on_serve(visit, start, switched)
         if switched:
@@ -490,12 +515,20 @@ def run_lanes(lanes: Sequence[TenantLane], scheduler,
     kernel = kernel if kernel is not None else EventClock()
     states = [_LaneState(i, lane) for i, lane in enumerate(lanes)]
     lane_events: List[Tuple[int, TraceEvent]] = []
+    lane_names = [lane.name or f"lane{index}"
+                  for index, lane in enumerate(lanes)]
 
     def record(tenant: int, start: float, seconds: float,
                category: str) -> None:
         if seconds > 0.0:
             lane_events.append((tenant, TraceEvent(start, seconds, category)))
             kernel.charge(start, seconds, category)
+            tracer = _OBS.tracer
+            if tracer is not None:
+                # Tenant-attributed schedule events: these are what the
+                # Chrome exporter turns into per-tenant lane tracks.
+                tracer.event(category, category, start, seconds,
+                             tenant=lane_names[tenant], lane=True)
 
     def on_serve(visit: Visit, dispatch_at: float, switched: bool) -> None:
         state = states[visit.tenant]

@@ -40,6 +40,7 @@ from repro.sgx.epc import Epc
 from repro.sgx.instructions import SgxUnit
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
+from repro.sim.trace import register_fastpath_gauges
 
 GB = 1 << 30
 MB = 1 << 20
@@ -152,6 +153,10 @@ class Machine:
         # The untrusted OS.
         self.kernel = Kernel(self.phys_mem, self.mmu, self.address_map,
                              self.sgx)
+
+        # Publish the data-plane counters as ``fastpath.*`` gauges in the
+        # process metrics registry (repro.obs).
+        register_fastpath_gauges(self)
 
     # -- trusted reference values (what a vendor would publish) ----------------
 

@@ -71,3 +71,52 @@ class TestCliExtras:
         (tmp_path / "x.txt").write_text("ARTIFACT BODY")
         assert cli_main(["report", "--artifacts", str(tmp_path)]) == 0
         assert "ARTIFACT BODY" in capsys.readouterr().out
+
+
+class TestCliObservability:
+    def test_run_prints_engine_counters(self, capsys):
+        assert main(["run", "matrix-add-2048", "--mode", "hix",
+                     "--inflation", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:" in out and "ctx switches" in out
+
+    def test_trace_demo_writes_profile(self, tmp_path, capsys):
+        import json
+        assert main(["trace", "demo", "--workload", "matrix-add-2048",
+                     "--inflation", "2048", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "wrote" in out
+        (chrome,) = tmp_path.glob("*.trace.json")
+        payload = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+        assert (tmp_path / "single-matrix-add-2048-hix.spans.jsonl").exists()
+        assert (tmp_path
+                / "single-matrix-add-2048-hix.metrics.json").exists()
+
+    def test_trace_serve_emits_tenant_lane_tracks(self, tmp_path, capsys):
+        import json
+        from repro.obs import export
+        assert main(["trace", "serve", "--workload", "matrix-add-2048",
+                     "--users", "2", "--inflation", "2048",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        (chrome,) = tmp_path.glob("*.trace.json")
+        payload = json.loads(chrome.read_text())
+        lane_events = [e for e in payload["traceEvents"]
+                       if e.get("ph") == "X"
+                       and e["pid"] == export.TENANT_LANES_PID]
+        tenants = {e["args"]["attrs"]["tenant"] for e in lane_events}
+        assert tenants == {"user0", "user1"}
+        assert "metrics" in payload
+
+    def test_metrics_text_and_json(self, capsys):
+        import json
+        assert main(["metrics", "--workload", "matrix-add-2048",
+                     "--inflation", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "fastpath.tlb_hits" in out
+        assert main(["metrics", "--workload", "matrix-add-2048",
+                     "--inflation", "2048", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "fastpath.dma_bytes_read" in snapshot

@@ -71,6 +71,35 @@ class TestTraceRecorder:
         text = recorder.render(width=20)
         assert "alpha" in text and "beta" in text and "#" in text
 
+    def test_render_single_instant_trace_reports_zero_span(self):
+        """All events at one instant: genuine 0-span, no epsilon fudge."""
+        from repro.sim.trace import TraceEvent
+        recorder = TraceRecorder(SimClock())
+        # _record skips zero durations from clocks, but render must cope
+        # with zero-span inputs fed programmatically.
+        recorder.events = [TraceEvent(2.0, 0.0, "only")]
+        text = recorder.render(width=20)
+        assert "0.000 ms" in text
+        assert "only" in text and "#" in text
+
+    def test_render_lanes_single_instant(self):
+        from repro.sim.trace import TraceEvent, render_lanes
+        lanes = {"t0": [TraceEvent(1.0, 0.0, "gpu")]}
+        text = render_lanes(lanes, width=12)
+        assert "0.000 ms" in text
+        assert "#" in text
+
+    def test_time_axis_zero_span_maps_to_column_zero(self):
+        from repro.sim.trace import TraceEvent, _time_axis
+        span, column = _time_axis([TraceEvent(5.0, 0.0, "x")], 40)
+        assert span == 0.0
+        assert column(5.0) == 0
+        span, column = _time_axis(
+            [TraceEvent(0.0, 1.0, "x"), TraceEvent(1.0, 1.0, "y")], 21)
+        assert span == pytest.approx(2.0)
+        assert column(0.0) == 0
+        assert column(2.0) == 20
+
     def test_ordering_property_on_real_run(self):
         """On a HIX memcpy, CPU-side copy is charged before in-GPU crypto."""
         from repro.system import Machine, MachineConfig

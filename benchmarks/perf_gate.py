@@ -32,7 +32,7 @@ import subprocess
 import sys
 import tempfile
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Every file here feeds one shared baseline; add new suites to the
@@ -91,34 +91,52 @@ def save_baseline(results: Dict[str, float]) -> None:
 
 
 def compare(results: Dict[str, float], baseline: Dict[str, float],
-            tolerance: float) -> bool:
-    """Print the comparison table; returns True when no benchmark regressed."""
-    ok = True
+            tolerance: float) -> Tuple[bool, List[Tuple[str, float, float]]]:
+    """Print the comparison table.
+
+    Returns ``(ok, regressions)`` where *regressions* lists
+    ``(name, baseline_seconds, current_seconds)`` for every benchmark
+    over the tolerance band (a disappeared benchmark counts with a
+    current time of ``inf``), sorted worst-ratio first.
+    """
+    regressions: List[Tuple[str, float, float]] = []
     width = max(len(name) for name in results)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
-          f"{'ratio':>7}  verdict")
+          f"{'delta':>10}  {'ratio':>7}  verdict")
     for name in sorted(results):
         current = results[name]
         base = baseline.get(name)
         if base is None:
             print(f"{name:<{width}}  {'-':>12}  {current * 1e6:>10.1f}us  "
-                  f"{'-':>7}  NEW (no baseline)")
+                  f"{'-':>10}  {'-':>7}  NEW (no baseline)")
             continue
         ratio = current / base
         if ratio > 1.0 + tolerance:
             verdict = f"REGRESSION (> +{tolerance:.0%})"
-            ok = False
+            regressions.append((name, base, current))
         elif ratio < 1.0 - tolerance:
             verdict = "improved (consider refreshing baseline)"
         else:
             verdict = "ok"
         print(f"{name:<{width}}  {base * 1e6:>10.1f}us  "
-              f"{current * 1e6:>10.1f}us  {ratio:>6.2f}x  {verdict}")
-    missing = sorted(set(baseline) - set(results))
-    for name in missing:
+              f"{current * 1e6:>10.1f}us  {(current - base) * 1e6:>+8.1f}us  "
+              f"{ratio:>6.2f}x  {verdict}")
+    for name in sorted(set(baseline) - set(results)):
         print(f"{name:<{width}}  benchmark disappeared from the suite")
-        ok = False
-    return ok
+        regressions.append((name, baseline[name], float("inf")))
+    regressions.sort(key=lambda entry: entry[2] / entry[1], reverse=True)
+    return not regressions, regressions
+
+
+def describe_worst(regressions: List[Tuple[str, float, float]]) -> str:
+    """Human-readable blame line for the worst regressor."""
+    name, base, current = regressions[0]
+    if current == float("inf"):
+        return f"worst regressor: {name} (disappeared from the suite)"
+    return (f"worst regressor: {name} "
+            f"({base * 1e6:.1f}us -> {current * 1e6:.1f}us, "
+            f"{current / base:.2f}x baseline, "
+            f"+{(current - base) * 1e6:.1f}us)")
 
 
 def main(argv=None) -> int:
@@ -145,15 +163,17 @@ def main(argv=None) -> int:
     if not baseline:
         print("no baseline recorded; run with --update-baseline first")
         return 1 if args.strict else 0
-    ok = compare(results, baseline, args.tolerance)
+    ok, regressions = compare(results, baseline, args.tolerance)
     if ok:
         print("perf gate: PASS")
         return 0
+    blame = describe_worst(regressions)
     if args.strict:
-        print("perf gate: FAIL (strict mode)")
+        print(f"perf gate: FAIL (strict mode) — {len(regressions)} "
+              f"regression(s); {blame}")
         return 1
-    print("perf gate: regressions reported (report-only mode; "
-          "use --strict to enforce)")
+    print(f"perf gate: {len(regressions)} regression(s) reported "
+          f"(report-only mode; use --strict to enforce) — {blame}")
     return 0
 
 

@@ -69,7 +69,8 @@ from repro.sgx.instructions import SgxUnit
 GPU_ENCLAVE_CODE = (b"HIX GPU enclave driver v1.0 -- Gdev-based trusted "
                     b"CUDA runtime relocated from the OS kernel")
 
-CRYPTO_KERNELS = ["hix.aead_decrypt", "hix.aead_encrypt"]
+CRYPTO_KERNELS = ["hix.aead_decrypt", "hix.aead_encrypt",
+                  "hix.aead_decrypt_scatter", "hix.aead_encrypt_gather"]
 
 logger = logging.getLogger(__name__)
 
@@ -299,6 +300,15 @@ class GpuEnclaveService:
         if op == protocol.OP_MEMCPY_DTOH:
             return self._memcpy_dtoh(session, int(request["gpu_va"]),
                                      int(request["nbytes"]))
+        if op == protocol.OP_MEMCPY_HTOD_BATCH:
+            return self._memcpy_htod_batch(
+                session, [int(va) for va in request["gpu_vas"]],
+                [int(n) for n in request["lengths"]],
+                int(request["blob_len"]))
+        if op == protocol.OP_MEMCPY_DTOH_BATCH:
+            return self._memcpy_dtoh_batch(
+                session, [int(va) for va in request["gpu_vas"]],
+                [int(n) for n in request["lengths"]])
         if op == protocol.OP_MODULE_LOAD:
             module = self.driver.load_module(
                 session.ctx, CubinImage([str(n) for n in request["kernels"]]),
@@ -316,6 +326,8 @@ class GpuEnclaveService:
                 compute_seconds=float(request.get("compute_seconds", 0.0)),
                 via_mmio=True)
             return {"ok": True}
+        if op == protocol.OP_LAUNCH_BATCH:
+            return self._launch_batch(session, request["launches"])
         if op == protocol.OP_CTX_DESTROY:
             self._close_session(session)
             return {"ok": True}
@@ -353,6 +365,69 @@ class GpuEnclaveService:
              blob_len))])
         self.driver.free(session.ctx, staging_va, cleanse=True)
         return {"ok": True, "blob_len": blob_len}
+
+    # ------------------------------------------- batched single-copy transfers
+
+    def _memcpy_htod_batch(self, session: Session, gpu_vas: list,
+                           lengths: list, blob_len: int) -> dict:
+        """One DMA + one in-GPU open for a whole batch of uploads.
+
+        The fused frame in shared memory seals the concatenation of the
+        batch's chunks under one nonce/tag; the scatter kernel
+        authenticates it once and distributes the plaintext chunks to
+        their per-item destinations.
+        """
+        if len(gpu_vas) != len(lengths) or not gpu_vas:
+            raise ProtocolError("batch gpu_vas/lengths tables do not match")
+        staging_va = self.driver.malloc(session.ctx, blob_len)
+        self.driver.channel.submit([encode_command(
+            CommandOpcode.MEMCPY_H2D, session.ctx.ctx_id,
+            (session.end.region.paddr + BULK_OFFSET, staging_va, blob_len))])
+        params = [_ptr(staging_va), blob_len, len(gpu_vas)]
+        for gpu_va, length in zip(gpu_vas, lengths):
+            params.append(_ptr(gpu_va))
+            params.append(length)
+        self.driver.launch(
+            session.ctx, session.crypto_module, "hix.aead_decrypt_scatter",
+            params, via_mmio=True)
+        self.driver.free(session.ctx, staging_va)
+        return {"ok": True, "plaintext_len": sum(lengths)}
+
+    def _memcpy_dtoh_batch(self, session: Session, gpu_vas: list,
+                           lengths: list) -> dict:
+        """One in-GPU gather-and-seal + one DMA for a batch of downloads."""
+        if len(gpu_vas) != len(lengths) or not gpu_vas:
+            raise ProtocolError("batch gpu_vas/lengths tables do not match")
+        blob_len = sealed_size(sum(lengths))
+        staging_va = self.driver.malloc(session.ctx, 8 + blob_len)
+        params = [_ptr(staging_va), len(gpu_vas)]
+        for gpu_va, length in zip(gpu_vas, lengths):
+            params.append(_ptr(gpu_va))
+            params.append(length)
+        self.driver.launch(
+            session.ctx, session.crypto_module, "hix.aead_encrypt_gather",
+            params, via_mmio=True)
+        self.driver.channel.submit([encode_command(
+            CommandOpcode.MEMCPY_D2H, session.ctx.ctx_id,
+            (staging_va + 8, session.end.region.paddr + BULK_OFFSET,
+             blob_len))])
+        self.driver.free(session.ctx, staging_va, cleanse=True)
+        return {"ok": True, "blob_len": blob_len}
+
+    def _launch_batch(self, session: Session, launches: list) -> dict:
+        """Run several launches announced by one sealed request."""
+        if not isinstance(launches, list) or not launches:
+            raise ProtocolError("launch batch must be a non-empty list")
+        for item in launches:
+            module = session.modules.get(int(item["module_id"]))
+            if module is None:
+                raise ProtocolError("launch references unknown module")
+            self.driver.launch(
+                session.ctx, module, str(item["kernel"]),
+                protocol.decode_params(item["params"]),
+                compute_seconds=float(item.get("compute_seconds", 0.0)),
+                via_mmio=True)
+        return {"ok": True}
 
     # ------------------------------------------------------------- termination
 

@@ -41,8 +41,10 @@ from repro.core.key_exchange import (
 from repro.crypto.blob import (
     HEADER_LEN,
     open_blob,
+    open_blob_chunks,
     seal_blob,
     seal_blob_into,
+    seal_chunks_into,
     sealed_size,
 )
 from repro.errors import (
@@ -57,7 +59,7 @@ from repro.osmodel.kernel import Kernel
 from repro.osmodel.process import Process
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
-from repro.sim.pipeline import pipelined_time
+from repro.sim.pipeline import pipelined_time, pipelined_times
 
 HostBuffer = Union[bytes, bytearray, np.ndarray]
 
@@ -109,6 +111,7 @@ class HixApi:
         self._crypto: Optional[SessionCrypto] = None
         self._ctx_id: Optional[int] = None
         self._seal_buf: Optional[bytearray] = None  # reused per bulk chunk
+        self._bulk_ad: Optional[bytes] = None  # built once per session
         self.user_enclave = process.enclave
 
     # -- timing helpers ----------------------------------------------------------
@@ -196,6 +199,7 @@ class HixApi:
         session_key = derive_key(dh_u.raise_value(dh_bytes_to_int(e_bytes)))
         self._crypto = build_session_crypto(session_key, self._suite_name)
         self._ctx_id = int(ack["ctx_id"])
+        self._bulk_ad = _bulk_aad(self._ctx_id)
         self._end = end
         return self
 
@@ -214,6 +218,7 @@ class HixApi:
         self._crypto = None
         self._ctx_id = None
         self._seal_buf = None
+        self._bulk_ad = None
 
     @property
     def ctx_id(self) -> int:
@@ -299,7 +304,7 @@ class HixApi:
             chunk = raw[offset:offset + limit]
             sealed_len = seal_blob_into(
                 self._crypto.bulk_suite, self._crypto.bulk_h2d_nonces,
-                chunk, seal_buf, associated_data=_bulk_aad(self.ctx_id))
+                chunk, seal_buf, associated_data=self._bulk_ad)
             self._end.region.write(
                 self._process, BULK_OFFSET,
                 memoryview(seal_buf)[:sealed_len], enclave_mode=True)
@@ -347,7 +352,7 @@ class HixApi:
                                            blob_len, enclave_mode=True)
             view[offset:offset + chunk] = open_blob(
                 self._crypto.bulk_suite, sealed,
-                associated_data=_bulk_aad(self.ctx_id),
+                associated_data=self._bulk_ad,
                 replay_guard=self._crypto.bulk_d2h_guard)
             offset += chunk
         if self._costs is not None:
@@ -362,6 +367,244 @@ class HixApi:
                 stage_latencies=[costs.dma_setup_latency,
                                  costs.cpu_aead_setup_latency]), "copy_d2h")
         return bytes(out)
+
+    # -- batched transfers --------------------------------------------------------------------
+
+    def cuMemcpyHtoDBatch(self, items: Sequence) -> None:
+        """Batched uploads: ``items`` is ``[(DevPtr, data), ...]``.
+
+        Consecutive items are greedily packed into fused frames bounded
+        by the shared region's bulk capacity; each frame is sealed with
+        ONE AEAD call and crosses the channel as ONE sealed request, and
+        the in-GPU scatter kernel authenticates it once before
+        distributing the chunks.  Simulated time is still charged *per
+        item*, exactly as the equivalent sequence of
+        :meth:`cuMemcpyHtoD` calls would charge it — batching changes
+        the real execution, never the virtual timeline.  Items larger
+        than one frame fall back to the scalar chunked path.
+        """
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._cuMemcpyHtoDBatch(items)
+        with tracer.span("hix.cuMemcpyHtoDBatch", "hix",
+                         ctx_id=self._ctx_id, items=len(items)):
+            return self._cuMemcpyHtoDBatch(items)
+
+    def _cuMemcpyHtoDBatch(self, items: Sequence) -> None:
+        limit = self._bulk_chunk_limit()
+        seal_buf = self._chunk_seal_buf()
+        sizes: list = []
+
+        frame_chunks: list = []
+        frame_vas: list = []
+        frame_lens: list = []
+        frame_bytes = 0
+        frames = 0
+
+        def flush_frame() -> None:
+            nonlocal frame_bytes, frames
+            if not frame_chunks:
+                return
+            sealed_len = seal_chunks_into(
+                self._crypto.bulk_suite, self._crypto.bulk_h2d_nonces,
+                frame_chunks, seal_buf, associated_data=self._bulk_ad)
+            self._end.region.write(
+                self._process, BULK_OFFSET,
+                memoryview(seal_buf)[:sealed_len], enclave_mode=True)
+            self._request({"op": protocol.OP_MEMCPY_HTOD_BATCH,
+                           "gpu_vas": frame_vas, "lengths": frame_lens,
+                           "blob_len": sealed_len})
+            frame_chunks.clear()
+            frame_vas.clear()
+            frame_lens.clear()
+            frame_bytes = 0
+            frames += 1
+
+        for dptr, data in items:
+            raw = _as_buffer(data)
+            sizes.append(raw.nbytes)
+            if raw.nbytes > limit:
+                # Oversized item: can't share a frame — scalar path.
+                flush_frame()
+                self._scalar_htod_bytes(dptr, raw)
+                frames += 1
+                continue
+            if frame_bytes + raw.nbytes > limit:
+                flush_frame()
+            frame_chunks.append(raw)
+            frame_vas.append(dptr.addr)
+            frame_lens.append(raw.nbytes)
+            frame_bytes += raw.nbytes
+        flush_frame()
+
+        if self._costs is not None and sizes:
+            costs = self._costs
+            copy = pipelined_times(
+                [costs.scaled(n) for n in sizes],
+                [costs.cpu_aead_bandwidth, costs.pcie_h2d_bandwidth],
+                costs.pipeline_chunk_bytes,
+                stage_latencies=[costs.cpu_aead_setup_latency,
+                                 costs.dma_setup_latency])
+            # _request already charged one RPC per frame; top up to the
+            # one-RPC-per-item cost the scalar sequence would have paid.
+            for _ in range(len(sizes) - frames):
+                self._charge(costs.rpc_round_trip(), "ipc")
+            for nbytes, seconds in zip(sizes, copy):
+                self._charge(costs.memcpy_request_overhead_hix, "ipc")
+                self._charge(float(seconds), "copy_h2d")
+                self._charge(costs.gpu_aead_time(nbytes), "crypto_gpu")
+
+    def _scalar_htod_bytes(self, dptr: DevPtr, raw: memoryview) -> None:
+        """Uncharged scalar upload used by the batch fallback path."""
+        limit = self._bulk_chunk_limit()
+        seal_buf = self._chunk_seal_buf()
+        offset = 0
+        while offset < raw.nbytes or (not raw.nbytes and offset == 0):
+            chunk = raw[offset:offset + limit]
+            sealed_len = seal_blob_into(
+                self._crypto.bulk_suite, self._crypto.bulk_h2d_nonces,
+                chunk, seal_buf, associated_data=self._bulk_ad)
+            self._end.region.write(
+                self._process, BULK_OFFSET,
+                memoryview(seal_buf)[:sealed_len], enclave_mode=True)
+            self._request({"op": protocol.OP_MEMCPY_HTOD,
+                           "gpu_va": dptr.addr + offset,
+                           "blob_len": sealed_len})
+            offset += len(chunk)
+            if not raw.nbytes:
+                break
+
+    def cuMemcpyDtoHBatch(self, items: Sequence) -> list:
+        """Batched downloads: ``items`` is ``[(DevPtr, nbytes), ...]``.
+
+        Mirrors :meth:`cuMemcpyHtoDBatch`: the gather kernel seals each
+        fused frame once on-device, one sealed request per frame crosses
+        the channel, and the runtime opens each frame with one AEAD call
+        before splitting it back into per-item results (returned in
+        submission order).  Per-item virtual time matches the equivalent
+        scalar :meth:`cuMemcpyDtoH` sequence.
+        """
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._cuMemcpyDtoHBatch(items)
+        with tracer.span("hix.cuMemcpyDtoHBatch", "hix",
+                         ctx_id=self._ctx_id, items=len(items)):
+            return self._cuMemcpyDtoHBatch(items)
+
+    def _cuMemcpyDtoHBatch(self, items: Sequence) -> list:
+        limit = self._bulk_chunk_limit()
+        results: list = [None] * len(items)
+        sizes = [int(nbytes) for _, nbytes in items]
+
+        frame: list = []       # (result_index, gpu_va, nbytes)
+        frame_bytes = 0
+        frames = 0
+
+        def flush_frame() -> None:
+            nonlocal frame_bytes, frames
+            if not frame:
+                return
+            gpu_vas = [va for _, va, _ in frame]
+            lengths = [n for _, _, n in frame]
+            reply = self._request({"op": protocol.OP_MEMCPY_DTOH_BATCH,
+                                   "gpu_vas": gpu_vas, "lengths": lengths})
+            blob_len = int(reply["blob_len"])
+            if blob_len != sealed_size(sum(lengths)):
+                raise ProtocolError("unexpected sealed batch blob size")
+            sealed = self._end.region.read(self._process, BULK_OFFSET,
+                                           blob_len, enclave_mode=True)
+            chunks = open_blob_chunks(
+                self._crypto.bulk_suite, sealed, lengths,
+                associated_data=self._bulk_ad,
+                replay_guard=self._crypto.bulk_d2h_guard)
+            for (index, _, _), chunk in zip(frame, chunks):
+                results[index] = chunk
+            frame.clear()
+            frame_bytes = 0
+            frames += 1
+
+        for index, (dptr, nbytes) in enumerate(items):
+            nbytes = int(nbytes)
+            if nbytes > limit:
+                flush_frame()
+                results[index] = self._cuMemcpyDtoH_uncharged(dptr, nbytes)
+                frames += 1
+                continue
+            if frame_bytes + nbytes > limit:
+                flush_frame()
+            frame.append((index, dptr.addr, nbytes))
+            frame_bytes += nbytes
+        flush_frame()
+
+        if self._costs is not None and sizes:
+            costs = self._costs
+            copy = pipelined_times(
+                [costs.scaled(n) for n in sizes],
+                [costs.pcie_d2h_bandwidth, costs.cpu_aead_bandwidth],
+                costs.pipeline_chunk_bytes,
+                stage_latencies=[costs.dma_setup_latency,
+                                 costs.cpu_aead_setup_latency])
+            for _ in range(len(sizes) - frames):
+                self._charge(costs.rpc_round_trip(), "ipc")
+            for nbytes, seconds in zip(sizes, copy):
+                self._charge(costs.memcpy_request_overhead_hix, "ipc")
+                self._charge(costs.gpu_aead_time(nbytes), "crypto_gpu")
+                self._charge(float(seconds), "copy_d2h")
+        return results
+
+    def _cuMemcpyDtoH_uncharged(self, dptr: DevPtr, nbytes: int) -> bytes:
+        """Scalar chunked download without analytic charges (batch fallback)."""
+        limit = self._bulk_chunk_limit()
+        out = bytearray(nbytes)
+        view = memoryview(out)
+        offset = 0
+        while offset < nbytes:
+            chunk = min(nbytes - offset, limit)
+            reply = self._request({"op": protocol.OP_MEMCPY_DTOH,
+                                   "gpu_va": dptr.addr + offset,
+                                   "nbytes": chunk})
+            blob_len = int(reply["blob_len"])
+            if blob_len != sealed_size(chunk):
+                raise ProtocolError("unexpected sealed blob size")
+            sealed = self._end.region.read(self._process, BULK_OFFSET,
+                                           blob_len, enclave_mode=True)
+            view[offset:offset + chunk] = open_blob(
+                self._crypto.bulk_suite, sealed,
+                associated_data=self._bulk_ad,
+                replay_guard=self._crypto.bulk_d2h_guard)
+            offset += chunk
+        return bytes(out)
+
+    def cuLaunchKernelBatch(self, module: "HixModuleHandle",
+                            launches: Sequence) -> None:
+        """Batched launches: ``launches`` is ``[(kernel, params, secs), ...]``.
+
+        The whole group crosses the channel as ONE sealed request (one
+        seal + one open instead of one per launch); the service runs the
+        launches in order.  Launch overhead is still charged per launch.
+        """
+        tracer = _OBS.tracer
+        if tracer is None:
+            return self._cuLaunchKernelBatch(module, launches)
+        with tracer.span("hix.cuLaunchKernelBatch", "hix",
+                         ctx_id=self._ctx_id, items=len(launches)):
+            return self._cuLaunchKernelBatch(module, launches)
+
+    def _cuLaunchKernelBatch(self, module: "HixModuleHandle",
+                             launches: Sequence) -> None:
+        if not launches:
+            return
+        if self._costs is not None:
+            for _ in range(len(launches) - 1):
+                self._charge(self._costs.rpc_round_trip(), "ipc")
+            for _ in launches:
+                self._charge(self._costs.kernel_launch_hix, "launch")
+        self._request({"op": protocol.OP_LAUNCH_BATCH, "launches": [
+            {"module_id": module.module_id,
+             "kernel": str(kernel_name),
+             "params": protocol.encode_params(list(params)),
+             "compute_seconds": float(compute_seconds)}
+            for kernel_name, params, compute_seconds in launches]})
 
     # -- modules / kernels ---------------------------------------------------------------------
 

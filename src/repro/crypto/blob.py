@@ -15,7 +15,7 @@ a different context fail its tag check.
 from __future__ import annotations
 
 import struct
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.nonce import NONCE_LEN, NonceSequence, ReplayGuard
 from repro.crypto.suite import AeadSuite, TAG_LEN
@@ -78,6 +78,89 @@ def _seal_blob_into(suite: AeadSuite, nonces: NonceSequence, plaintext,
     _HEADER.pack_into(out, 0, _MAGIC, nonce, tag, len(ciphertext))
     out[HEADER_LEN:total] = ciphertext
     return total
+
+
+def seal_chunks_into(suite: AeadSuite, nonces: NonceSequence,
+                     chunks: Sequence[bytes], out: bytearray,
+                     associated_data: bytes = b"") -> int:
+    """Seal a batch of chunks into ONE framed blob in *out*.
+
+    The whole batch travels under a single fresh nonce and a single AEAD
+    tag (one call into the suite, one chunk-buffer pass); the receiver
+    splits the plaintext with the out-of-band length table via
+    :func:`open_blob_chunks`.  Returns the frame length.
+    """
+    tracer = _OBS.tracer
+    if tracer is None:
+        return _seal_chunks_into(suite, nonces, chunks, out, associated_data)
+    with tracer.span("aead.seal", "aead",
+                     bytes=sum(len(c) for c in chunks), chunks=len(chunks)):
+        return _seal_chunks_into(suite, nonces, chunks, out, associated_data)
+
+
+def _seal_chunks_into(suite: AeadSuite, nonces: NonceSequence,
+                      chunks: Sequence[bytes], out: bytearray,
+                      associated_data: bytes = b"") -> int:
+    nonce = nonces.next()
+    ciphertext, tag = suite.seal_chunks(nonce, chunks, associated_data)
+    total = HEADER_LEN + len(ciphertext)
+    if len(out) < total:
+        raise ValueError(
+            f"seal buffer too small: {len(out)} < {total} bytes")
+    _HEADER.pack_into(out, 0, _MAGIC, nonce, tag, len(ciphertext))
+    out[HEADER_LEN:total] = ciphertext
+    return total
+
+
+def seal_blob_chunks(suite: AeadSuite, nonces: NonceSequence,
+                     chunks: Sequence[bytes],
+                     associated_data: bytes = b"") -> bytes:
+    """Batch variant of :func:`seal_blob`: one frame, one AEAD call."""
+    tracer = _OBS.tracer
+    if tracer is None:
+        return _seal_blob_chunks(suite, nonces, chunks, associated_data)
+    with tracer.span("aead.seal", "aead",
+                     bytes=sum(len(c) for c in chunks), chunks=len(chunks)):
+        return _seal_blob_chunks(suite, nonces, chunks, associated_data)
+
+
+def _seal_blob_chunks(suite: AeadSuite, nonces: NonceSequence,
+                      chunks: Sequence[bytes],
+                      associated_data: bytes = b"") -> bytes:
+    nonce = nonces.next()
+    ciphertext, tag = suite.seal_chunks(nonce, chunks, associated_data)
+    return _HEADER.pack(_MAGIC, nonce, tag, len(ciphertext)) + ciphertext
+
+
+def open_blob_chunks(suite: AeadSuite, raw: bytes, lengths: Sequence[int],
+                     associated_data: bytes = b"",
+                     replay_guard: Optional[ReplayGuard] = None
+                     ) -> List[bytes]:
+    """Open a batched frame and split it back into its chunks.
+
+    One replay check, one tag verification, one decryption pass for the
+    whole batch; *lengths* is the out-of-band chunk-length table the
+    sender announced in its sealed request.
+    """
+    tracer = _OBS.tracer
+    if tracer is None:
+        return _open_blob_chunks(suite, raw, lengths, associated_data,
+                                 replay_guard)
+    with tracer.span("aead.open", "aead", bytes=len(raw),
+                     chunks=len(lengths)):
+        return _open_blob_chunks(suite, raw, lengths, associated_data,
+                                 replay_guard)
+
+
+def _open_blob_chunks(suite: AeadSuite, raw: bytes, lengths: Sequence[int],
+                      associated_data: bytes = b"",
+                      replay_guard: Optional[ReplayGuard] = None
+                      ) -> List[bytes]:
+    nonce, tag, ciphertext = parse_blob(raw)
+    if replay_guard is not None:
+        replay_guard.check(nonce)
+    return suite.open_chunks(nonce, ciphertext, tag, lengths,
+                             associated_data)
 
 
 def parse_blob(raw: bytes) -> Tuple[bytes, bytes, bytes]:

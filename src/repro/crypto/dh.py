@@ -13,8 +13,17 @@ simulation reproducible, or from ``secrets`` otherwise.
 from __future__ import annotations
 
 import hashlib
+import os
 import secrets
 from typing import Optional
+
+try:  # pragma: no cover - import guard
+    from cryptography.hazmat.primitives.asymmetric import dh as _hw_dh
+except Exception:  # pragma: no cover - cryptography always present in CI
+    _hw_dh = None
+
+if os.environ.get("REPRO_NO_HW_DH"):
+    _hw_dh = None
 
 # RFC 3526, group 14: 2048-bit MODP prime, generator 2.
 MODP_2048 = int(
@@ -46,7 +55,28 @@ class DiffieHellman:
         else:
             digest = hashlib.sha256(b"hix-dh-exponent" + seed).digest()
             self._private = int.from_bytes(digest, "big") | 1
-        self._public = pow(generator, self._private, prime)
+        self._hw_params = self._hw_key = None
+        if _hw_dh is not None and prime.bit_length() >= 512:
+            # OpenSSL computes base^x mod p much faster than Python's
+            # pow; the result is identical, so this is purely a speedup
+            # (set REPRO_NO_HW_DH=1 to force the pure-Python path).
+            try:
+                self._hw_params = _hw_dh.DHParameterNumbers(prime, generator)
+                self._hw_key = _hw_dh.DHPrivateNumbers(
+                    self._private,
+                    _hw_dh.DHPublicNumbers(generator, self._hw_params),
+                ).private_key()
+            except Exception:
+                self._hw_params = self._hw_key = None
+        self._public = self._modexp(generator)
+
+    def _modexp(self, base: int) -> int:
+        """``base ** private mod prime`` via OpenSSL when available."""
+        if self._hw_key is not None and 2 <= base <= self._prime - 2:
+            shared = self._hw_key.exchange(
+                _hw_dh.DHPublicNumbers(base, self._hw_params).public_key())
+            return int.from_bytes(shared, "big")
+        return pow(base, self._private, self._prime)
 
     @property
     def public_value(self) -> int:
@@ -55,13 +85,12 @@ class DiffieHellman:
     def raise_value(self, value: int) -> int:
         """Apply this party's exponent to *value* (multi-party DH step)."""
         self._check(value)
-        return pow(value, self._private, self._prime)
+        return self._modexp(value)
 
     def shared_secret(self, peer_public: int) -> bytes:
         """Two-party shared secret as 32 bytes (SHA-256 of g^xy)."""
         self._check(peer_public)
-        secret = pow(peer_public, self._private, self._prime)
-        return _derive(secret)
+        return _derive(self._modexp(peer_public))
 
     def _check(self, value: int) -> None:
         if not 2 <= value <= self._prime - 2:

@@ -25,6 +25,9 @@ class NonceSequence:
         if not 0 <= channel_id < (1 << 32):
             raise ValueError("channel_id must fit in 32 bits")
         self._channel_id = channel_id
+        # The 4-byte channel prefix never changes for the lifetime of the
+        # sequence; build it once instead of re-encoding per nonce.
+        self._prefix = channel_id.to_bytes(4, "big")
         self._counter = 0
 
     @property
@@ -36,13 +39,11 @@ class NonceSequence:
         self._counter += 1
         if self._counter >= (1 << 64):
             raise OverflowError("nonce counter exhausted")
-        return (self._channel_id.to_bytes(4, "big")
-                + self._counter.to_bytes(8, "big"))
+        return self._prefix + self._counter.to_bytes(8, "big")
 
     def peek(self) -> bytes:
         """The nonce :meth:`next` would return, without consuming it."""
-        return (self._channel_id.to_bytes(4, "big")
-                + (self._counter + 1).to_bytes(8, "big"))
+        return self._prefix + (self._counter + 1).to_bytes(8, "big")
 
 
 class ReplayGuard:

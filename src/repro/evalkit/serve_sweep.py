@@ -50,7 +50,8 @@ def serve_run(workload: Workload, num_users: int,
               costs: Optional[CostModel] = None,
               quota: Optional[TenantQuota] = None,
               crypto_efficiency: Optional[float] = None,
-              machine: Optional[Machine] = None) -> ServeReport:
+              machine: Optional[Machine] = None,
+              fast_path: bool = True) -> ServeReport:
     """One serving run: *num_users* tenants, each submitting *workload*.
 
     Builds a fresh machine (unless *machine* is supplied — profiling
@@ -67,7 +68,8 @@ def serve_run(workload: Workload, num_users: int,
     engine = ServeEngine(machine, scheduler=scheduler,
                          max_tenants=max(num_users, 1),
                          default_quota=quota or SWEEP_QUOTA,
-                         crypto_efficiency=crypto_efficiency)
+                         crypto_efficiency=crypto_efficiency,
+                         fast_path=fast_path)
     for index in range(num_users):
         client = engine.add_tenant(f"user{index}")
         submit_workload(client, workload, inflation, machine.costs,

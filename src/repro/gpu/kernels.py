@@ -24,7 +24,13 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
-from repro.crypto.blob import HEADER_LEN, open_blob, seal_blob
+from repro.crypto.blob import (
+    HEADER_LEN,
+    open_blob,
+    open_blob_chunks,
+    seal_blob,
+    seal_blob_chunks,
+)
 from repro.errors import KernelNotFound
 
 KernelFn = Callable[["SimGpu", "GpuContext", List], None]  # noqa: F821
@@ -164,6 +170,49 @@ def _aead_encrypt(dev, ctx, params) -> None:
     suite = dev.suite_for_context(ctx)
     blob = seal_blob(suite, dev.nonce_sequence_for(ctx), plaintext,
                      associated_data=_ctx_aad(ctx))
+    dev.write_ctx(ctx, dst_ptr.addr, struct.pack("<Q", len(blob)) + blob)
+
+
+@_GLOBAL.kernel("hix.aead_decrypt_scatter")
+def _aead_decrypt_scatter(dev, ctx, params) -> None:
+    """Open one batched blob and scatter its chunks to many destinations.
+
+    Parameters: ``(src, src_len, n, dst_0, len_0, ..., dst_n-1, len_n-1)``.
+    The blob seals the concatenation of *n* chunks under a single nonce
+    and tag (the batch fast path), so one authentication and one
+    decryption pass serve the whole batch; each recovered chunk is then
+    written to its own destination pointer.
+    """
+    src_ptr, src_len, count = params[0], int(params[1]), int(params[2])
+    pairs = params[3:3 + 2 * count]
+    blob = dev.read_ctx(ctx, src_ptr.addr, src_len)
+    lengths = [int(pairs[2 * index + 1]) for index in range(count)]
+    suite = dev.suite_for_context(ctx)
+    chunks = open_blob_chunks(suite, blob, lengths,
+                              associated_data=_ctx_aad(ctx),
+                              replay_guard=dev.replay_guard_for(ctx))
+    for index, chunk in enumerate(chunks):
+        dev.write_ctx(ctx, pairs[2 * index].addr, chunk)
+
+
+@_GLOBAL.kernel("hix.aead_encrypt_gather")
+def _aead_encrypt_gather(dev, ctx, params) -> None:
+    """Gather many device ranges into one sealed batched blob.
+
+    Parameters: ``(dst, n, src_0, len_0, ..., src_n-1, len_n-1)``.
+    Writes ``u64 blob_len | blob`` at *dst*, where the blob seals the
+    concatenation of the *n* source ranges with a single nonce and tag;
+    the driver DMAs it out and the user runtime splits it with the
+    length table it announced in the request.
+    """
+    dst_ptr, count = params[0], int(params[1])
+    pairs = params[2:2 + 2 * count]
+    chunks = [dev.read_ctx(ctx, pairs[2 * index].addr,
+                           int(pairs[2 * index + 1]))
+              for index in range(count)]
+    suite = dev.suite_for_context(ctx)
+    blob = seal_blob_chunks(suite, dev.nonce_sequence_for(ctx), chunks,
+                            associated_data=_ctx_aad(ctx))
     dev.write_ctx(ctx, dst_ptr.addr, struct.pack("<Q", len(blob)) + blob)
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import AccessDenied, PageFault
@@ -60,12 +61,27 @@ class AccessContext:
         return f"asid={self.asid} ({mode}{enclave})"
 
 
+#: Runs longer than this stay interval-backed in :class:`PageTable`;
+#: shorter runs materialize into the per-page dict.  Large runs are GPU
+#: BARs and DMA windows (tens of thousands of pages), where per-page
+#: dict entries dominate machine bring-up cost.
+_RANGE_THRESHOLD = 32
+
+
 class PageTable:
-    """A single-level sparse page table for one address space."""
+    """A single-level sparse page table for one address space.
+
+    Small mappings live in a per-page dict; large contiguous runs are
+    kept as ``(vpn, npages, ppn, flags)`` intervals and resolved on
+    lookup.  Later mappings win: a single-page :meth:`map` shadows any
+    interval (the dict is consulted first), and a new interval punches
+    its window out of older intervals and stale dict entries.
+    """
 
     def __init__(self, asid: int) -> None:
         self.asid = asid
         self._entries: Dict[int, Tuple[int, PageFlags]] = {}
+        self._ranges: List[Tuple[int, int, int, PageFlags]] = []
 
     def map(self, vaddr: int, paddr: int,
             flags: PageFlags = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
@@ -79,22 +95,70 @@ class PageTable:
                   ) -> None:
         if size % PAGE_SIZE:
             raise ValueError("range size must be page-aligned")
-        for offset in range(0, size, PAGE_SIZE):
-            self.map(vaddr + offset, paddr + offset, flags)
+        if vaddr % PAGE_SIZE or paddr % PAGE_SIZE:
+            raise ValueError("mappings must be page-aligned")
+        npages = size // PAGE_SIZE
+        vpn, ppn = vaddr // PAGE_SIZE, paddr // PAGE_SIZE
+        if npages <= _RANGE_THRESHOLD:
+            self._entries.update(zip(
+                range(vpn, vpn + npages),
+                zip(range(ppn, ppn + npages), repeat(flags))))
+            return
+        if self._entries:
+            for key in [k for k in self._entries if vpn <= k < vpn + npages]:
+                del self._entries[key]
+        self._punch_hole(vpn, npages)
+        self._ranges.append((vpn, npages, ppn, flags))
+
+    def _punch_hole(self, vpn: int, npages: int) -> None:
+        """Remove ``[vpn, vpn + npages)`` from the stored intervals."""
+        if not self._ranges:
+            return
+        lo, hi = vpn, vpn + npages
+        kept = []
+        for rv, rn, rp, rf in self._ranges:
+            if rv + rn <= lo or rv >= hi:
+                kept.append((rv, rn, rp, rf))
+                continue
+            if rv < lo:
+                kept.append((rv, lo - rv, rp, rf))
+            if rv + rn > hi:
+                kept.append((hi, rv + rn - hi, rp + (hi - rv), rf))
+        self._ranges = kept
 
     def unmap(self, vaddr: int) -> None:
-        self._entries.pop(vaddr // PAGE_SIZE, None)
+        vpn = vaddr // PAGE_SIZE
+        self._entries.pop(vpn, None)
+        self._punch_hole(vpn, 1)
+
+    def _find(self, vpn: int) -> Optional[Tuple[int, PageFlags]]:
+        entry = self._entries.get(vpn)
+        if entry is not None:
+            return entry
+        for rv, rn, rp, rf in reversed(self._ranges):
+            if rv <= vpn < rv + rn:
+                return (rp + (vpn - rv), rf)
+        return None
 
     def lookup(self, vaddr: int) -> Tuple[int, PageFlags]:
         """Raw software walk: return (paddr_of_page, flags) or page-fault."""
-        entry = self._entries.get(vaddr // PAGE_SIZE)
+        entry = self._find(vaddr // PAGE_SIZE)
         if entry is None or not entry[1] & PageFlags.PRESENT:
             raise PageFault(f"no mapping for va {vaddr:#x} in asid {self.asid}")
         ppn, flags = entry
         return ppn * PAGE_SIZE, flags
 
     def mapped_pages(self) -> int:
-        return len(self._entries)
+        # Intervals are kept mutually disjoint (every insert punches its
+        # window first), so only dict entries shadowing an interval page
+        # need dedup.
+        total = sum(rn for _, rn, _, _ in self._ranges)
+        if not self._ranges:
+            return len(self._entries)
+        total += sum(
+            1 for vpn in self._entries
+            if not any(rv <= vpn < rv + rn for rv, rn, _, _ in self._ranges))
+        return total
 
 
 @dataclass

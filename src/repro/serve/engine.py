@@ -13,9 +13,11 @@ bounded request queue.  The engine then runs every tenant as a real
   tenants interleave on the shared machine in exactly the order a real
   serving loop would admit them.  Real bytes move, real AEAD
   seals/opens run, the GPU enclave dispatches real driver operations;
-  the simulated time each request charges is measured via clock
-  snapshots and split into GPU-engine-exclusive seconds (compute,
-  dispatch, in-GPU crypto) vs overlappable host seconds using
+  the simulated time each request charges is measured by a fresh
+  per-request recording listener (so the measurement is independent of
+  the clock's absolute accumulator state — see :class:`_ChargeRecorder`)
+  and split into GPU-engine-exclusive seconds (compute, dispatch,
+  in-GPU crypto) vs overlappable host seconds using
   :meth:`TimeBreakdown.split`.
 
 * **The engine is the kernel's exclusive Resource.**  Host work of
@@ -65,6 +67,7 @@ from repro.serve.queues import (
     RequestQueue,
     ServeRequest,
 )
+from repro.serve.memo import RequestTimingMemo, costs_fingerprint
 from repro.serve.scheduler import Scheduler, make_scheduler
 from repro.serve.session import SessionTable, TenantQuota, TenantRecord
 from repro.sim.engine import TenantLane, WorkUnit, run_lanes
@@ -78,6 +81,46 @@ GPU_ENGINE_CATEGORIES = frozenset({"gpu_compute", "gpu_dispatch",
                                    "crypto_gpu"})
 
 _UNSET = object()
+
+
+class _ChargeRecorder:
+    """Accumulate one measured region's charges from a zero baseline.
+
+    Measuring by subtracting clock snapshots makes the result depend on
+    the *absolute* accumulator values (``(X + d) - X`` is not always
+    ``d`` in floats), so identical requests measure ulp-differently at
+    different clock positions.  A fresh listener accumulates each
+    region's charges from 0.0, which makes the measured split a pure
+    function of the charge sequence — exactly what the timing memo
+    replays, so fast-path and slow-path reports agree bit for bit.
+
+    The production order's incidental ``gpu_ctx_switch`` charges are
+    excluded at accumulation time rather than subtracted afterwards:
+    they land at interleaving-dependent points in the charge sequence,
+    and float addition is not associative, so ``(a + ctx + b) - ctx``
+    would leak the interleaving into the last ulp of the host split.
+    """
+
+    __slots__ = ("total", "by_category")
+
+    #: The one category whose charges depend on cross-tenant production
+    #: order.  The virtual schedule charges switches itself, from the
+    #: owner changes it actually decides, so measurements drop them.
+    EXCLUDED = frozenset({"gpu_ctx_switch"})
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.by_category: Dict[str, float] = {}
+
+    def __call__(self, start: float, seconds: float, category: str) -> None:
+        if category in self.EXCLUDED:
+            return
+        self.total += seconds
+        self.by_category[category] = (
+            self.by_category.get(category, 0.0) + seconds)
+
+    def breakdown(self) -> TimeBreakdown:
+        return TimeBreakdown(self.total, self.by_category)
 
 
 class _GuardedApi:
@@ -136,16 +179,22 @@ class TenantClient:
 
     def submit(self, label: str, fn: Callable[[Any], Any],
                timeout: Any = _UNSET,
-               extra_host_seconds: float = 0.0) -> ServeRequest:
+               extra_host_seconds: float = 0.0,
+               memo_key: Any = None, batch_key: Any = None,
+               batch_arg: Any = None, batch_fn: Any = None) -> ServeRequest:
         """Queue one request; raises :class:`BackpressureError` if full.
 
         *timeout* defaults to the tenant quota's ``request_timeout``;
-        pass ``None`` explicitly to exempt a single request.
+        pass ``None`` explicitly to exempt a single request.  The
+        ``memo_key``/``batch_*`` metadata opts the request into the
+        engine's timing-memo fast path (see :class:`ServeRequest`).
         """
         if timeout is _UNSET:
             timeout = self.record.quota.request_timeout
         request = ServeRequest(label=label, fn=fn, timeout=timeout,
-                               extra_host_seconds=extra_host_seconds)
+                               extra_host_seconds=extra_host_seconds,
+                               memo_key=memo_key, batch_key=batch_key,
+                               batch_arg=batch_arg, batch_fn=batch_fn)
         self.queue.submit(request)
         self.requests.append(request)
         return request
@@ -226,7 +275,8 @@ class ServeEngine:
                  max_tenants: int = 8,
                  default_quota: Optional[TenantQuota] = None,
                  crypto_efficiency: Optional[float] = None,
-                 channel_queue_depth: int = 4) -> None:
+                 channel_queue_depth: int = 4,
+                 fast_path: bool = True) -> None:
         self._machine = machine
         self._service = service if service is not None else machine.boot_hix()
         if isinstance(scheduler, str):
@@ -238,6 +288,18 @@ class ServeEngine:
         self._alloc_tokens = itertools.count(1)
         self._crypto_efficiency = crypto_efficiency
         self._channel_queue_depth = channel_queue_depth
+        self._fast_path = fast_path
+        #: Timing memo for the fast path; shared across tenants of one
+        #: engine (they share the session configuration the key tokens).
+        self.memo = RequestTimingMemo()
+
+    def _memo_token(self, crypto_eff: float):
+        """Everything that parameterizes what an identical request charges."""
+        config = getattr(self._machine, "config", None)
+        return (getattr(config, "suite_name", None),
+                getattr(config, "data_inflation", None),
+                self._channel_queue_depth, crypto_eff,
+                costs_fingerprint(self._machine.costs))
 
     @property
     def service(self):
@@ -303,13 +365,17 @@ class ServeEngine:
                 request.error = str(exc)
             return
 
-        snap = clock.snapshot()
-        api = machine.hix_session(
-            self._service, name=client.name,
-            channel_queue_depth=self._channel_queue_depth)
-        with _span("serve.session-setup", "serve", tenant=client.name):
-            api.cuCtxCreate()
-        host, gpu = self._split(clock.elapsed_since(snap), crypto_eff)
+        recorder = _ChargeRecorder()
+        clock.add_listener(recorder)
+        try:
+            api = machine.hix_session(
+                self._service, name=client.name,
+                channel_queue_depth=self._channel_queue_depth)
+            with _span("serve.session-setup", "serve", tenant=client.name):
+                api.cuCtxCreate()
+        finally:
+            clock.remove_listener(recorder)
+        host, gpu = self._split(recorder.breakdown(), crypto_eff)
         # Session setup is serial host work (attestation + DH); any
         # engine seconds it charged are folded in rather than scheduled.
         yield WorkUnit(host + gpu, None, "session-setup")
@@ -318,34 +384,109 @@ class ServeEngine:
                               self._alloc_tokens)
         client.api = guarded
 
+        fast = self._fast_path
+        pending: List[ServeRequest] = []
+
+        def flush_pending() -> None:
+            """Run the deferred functional work of memo-hit requests.
+
+            Real bytes still move through the sealed protocol — runs of
+            consecutive requests that share a ``batch_key`` coalesce
+            through the batch ops (one AEAD seal/open per fused frame)
+            — but the clock is suppressed: their virtual time was
+            already charged from the memo, bit-identically to the slow
+            path.
+            """
+            if not pending:
+                return
+            with clock.suppressed():
+                index = 0
+                while index < len(pending):
+                    head = pending[index]
+                    group = [head]
+                    if head.batch_key is not None and head.batch_fn is not None:
+                        while (index + len(group) < len(pending)
+                               and pending[index + len(group)].batch_key
+                               == head.batch_key):
+                            group.append(pending[index + len(group)])
+                    try:
+                        if len(group) > 1:
+                            head.batch_fn(guarded, group)
+                        else:
+                            head.result = head.fn(guarded)
+                    except (AdmissionError, QueueFullError,
+                            RequestRejected, DriverError) as exc:
+                        for deferred in group:
+                            deferred.outcome = FAILED
+                            deferred.error = str(exc)
+                    index += len(group)
+            pending.clear()
+
         while client.queue:
             request = client.queue.pop()
-            snap = clock.snapshot()
-            with _span("serve.request", "serve", tenant=client.name,
-                       request=request.label, seq=request.seq):
-                clock.advance(costs.serve_dispatch_latency, "serve_dispatch")
-                if request.extra_host_seconds > 0.0:
-                    clock.advance(request.extra_host_seconds, "launch")
-                ok = True
-                try:
-                    request.result = request.fn(guarded)
-                except AdmissionError as exc:
-                    ok = False
-                    request.outcome = DENIED
-                    request.error = str(exc)
-                except QueueFullError as exc:
-                    # Channel backlog is the lower level's backpressure;
-                    # surface it as such rather than as a protocol fault.
-                    ok = False
-                    request.outcome = BACKPRESSURE
-                    request.error = str(exc)
-                except (RequestRejected, DriverError) as exc:
-                    ok = False
-                    request.outcome = FAILED
-                    request.error = str(exc)
-            host, gpu = self._split(clock.elapsed_since(snap), crypto_eff)
+            if fast and request.memo_key is not None:
+                memo_key = (request.memo_key, request.extra_host_seconds)
+                cached = self.memo.get(memo_key)
+                if cached is not None:
+                    host, gpu = cached
+                    request.host_seconds = host
+                    request.gpu_seconds = gpu
+                    pending.append(request)
+                    if gpu <= 0.0:
+                        request.outcome = SERVED
+                        yield WorkUnit(host, None, request.label)
+                        continue
+
+                    def settle_hit(outcome: str,
+                                   request: ServeRequest = request) -> None:
+                        if request.outcome == FAILED:
+                            return  # deferred execution failed at flush
+                        request.outcome = (SERVED if outcome == "served"
+                                           else TIMEOUT)
+
+                    yield WorkUnit(host, gpu, request.label,
+                                   deadline=request.timeout,
+                                   on_outcome=settle_hit)
+                    continue
+            else:
+                memo_key = None
+            flush_pending()
+            recorder = _ChargeRecorder()
+            clock.add_listener(recorder)
+            try:
+                with _span("serve.request", "serve", tenant=client.name,
+                           request=request.label, seq=request.seq):
+                    clock.advance(costs.serve_dispatch_latency,
+                                  "serve_dispatch")
+                    if request.extra_host_seconds > 0.0:
+                        clock.advance(request.extra_host_seconds, "launch")
+                    ok = True
+                    try:
+                        request.result = request.fn(guarded)
+                    except AdmissionError as exc:
+                        ok = False
+                        request.outcome = DENIED
+                        request.error = str(exc)
+                    except QueueFullError as exc:
+                        # Channel backlog is the lower level's
+                        # backpressure; surface it as such rather than
+                        # as a protocol fault.
+                        ok = False
+                        request.outcome = BACKPRESSURE
+                        request.error = str(exc)
+                    except (RequestRejected, DriverError) as exc:
+                        ok = False
+                        request.outcome = FAILED
+                        request.error = str(exc)
+            finally:
+                clock.remove_listener(recorder)
+            host, gpu = self._split(recorder.breakdown(), crypto_eff)
             request.host_seconds = host
             request.gpu_seconds = gpu
+            if ok and memo_key is not None:
+                # Only successful runs are memoized: a failure's timing
+                # depends on where it failed, not on the request shape.
+                self.memo.put(memo_key, host, gpu)
             if not ok:
                 # A denied/failed request consumed host time only; any
                 # engine time it managed to charge is not scheduled.
@@ -364,11 +505,16 @@ class ServeEngine:
             yield WorkUnit(host, gpu, request.label,
                            deadline=request.timeout, on_outcome=settle)
 
-        snap = clock.snapshot()
-        with _span("serve.teardown", "serve", tenant=client.name):
-            api.cuCtxDestroy()
-            self.table.close_context(client.record)
-        host, gpu = self._split(clock.elapsed_since(snap), crypto_eff)
+        flush_pending()
+        recorder = _ChargeRecorder()
+        clock.add_listener(recorder)
+        try:
+            with _span("serve.teardown", "serve", tenant=client.name):
+                api.cuCtxDestroy()
+                self.table.close_context(client.record)
+        finally:
+            clock.remove_listener(recorder)
+        host, gpu = self._split(recorder.breakdown(), crypto_eff)
         yield WorkUnit(host + gpu, None, "teardown")
 
     def run(self) -> ServeReport:
@@ -380,6 +526,9 @@ class ServeEngine:
         """
         self._scheduler.reset()
         crypto_eff = self._resolve_crypto_efficiency()
+        # (Re)bind the memo to this run's timing configuration — any
+        # cost-model or session-config change invalidates cached splits.
+        self.memo.configure(self._memo_token(crypto_eff))
 
         lane_names: List[str] = []
         for index, client in enumerate(self._clients):

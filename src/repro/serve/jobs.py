@@ -83,6 +83,10 @@ def submit_workload(client: TenantClient, workload: Workload,
 
     submitted.append(client.submit(f"{workload.name}:setup", setup))
 
+    def upload_batch(api, requests):
+        api.cuMemcpyHtoDBatch(
+            [(state["dptr"], request.batch_arg) for request in requests])
+
     for index in range(h2d_chunks):
         nbytes = min(h2d_per_chunk, real_h2d - index * h2d_per_chunk)
         if nbytes <= 0:
@@ -93,19 +97,39 @@ def submit_workload(client: TenantClient, workload: Workload,
             api.cuMemcpyHtoD(state["dptr"], data)
 
         submitted.append(
-            client.submit(f"{workload.name}:h2d[{index}]", upload))
+            client.submit(f"{workload.name}:h2d[{index}]", upload,
+                          memo_key=("h2d", int(nbytes)),
+                          batch_key=("h2d", id(state)),
+                          batch_arg=data, batch_fn=upload_batch))
 
     fill_words = min(buffer_bytes // 4, 256)
+    fill_value = 0x5A5A5A5A & 0x7FFFFFFF
+
+    def launch_batch(api, requests):
+        api.cuLaunchKernelBatch(state["module"], [
+            ("builtin.memset32", [state["dptr"], fill_words, fill_value],
+             request.batch_arg) for request in requests])
+
     for index in range(groups):
 
         def launch(api, hint=per_group_compute):
             api.cuLaunchKernel(state["module"], "builtin.memset32",
-                               [state["dptr"], fill_words, 0x5A5A5A5A & 0x7FFFFFFF],
+                               [state["dptr"], fill_words, fill_value],
                                compute_seconds=hint)
 
         submitted.append(client.submit(
             f"{workload.name}:launch[{index}]", launch,
-            extra_host_seconds=elided_per_group))
+            extra_host_seconds=elided_per_group,
+            memo_key=("launch", "builtin.memset32", fill_words,
+                      per_group_compute),
+            batch_key=("launch", id(state)),
+            batch_arg=per_group_compute, batch_fn=launch_batch))
+
+    def download_batch(api, requests):
+        chunks = api.cuMemcpyDtoHBatch(
+            [(state["dptr"], request.batch_arg) for request in requests])
+        for request, chunk in zip(requests, chunks):
+            request.result = chunk
 
     for index in range(d2h_chunks):
         nbytes = min(d2h_per_chunk, real_d2h - index * d2h_per_chunk)
@@ -116,7 +140,10 @@ def submit_workload(client: TenantClient, workload: Workload,
             return api.cuMemcpyDtoH(state["dptr"], nbytes)
 
         submitted.append(
-            client.submit(f"{workload.name}:d2h[{index}]", download))
+            client.submit(f"{workload.name}:d2h[{index}]", download,
+                          memo_key=("d2h", int(nbytes)),
+                          batch_key=("d2h", id(state)),
+                          batch_arg=int(nbytes), batch_fn=download_batch))
 
     def cleanup(api):
         api.cuMemFree(state["dptr"])

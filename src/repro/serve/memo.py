@@ -1,0 +1,102 @@
+"""Request-timing memoization for the serving fast path.
+
+The serving engine executes each tenant request over the real sealed
+protocol and measures the simulated time it charges.  For serving
+workloads the stream is highly repetitive — the same (operation, size)
+pair recurs across chunks, launch groups, and tenants that share one
+session configuration — and the measured split is a pure function of
+that shape: analytic charges depend on operation and byte count, device
+charges on the driver-operation sequence, and the only order-dependent
+category (``gpu_ctx_switch``) is excluded from serve measurements by
+design (the virtual schedule charges switches itself).
+
+:class:`RequestTimingMemo` caches the measured ``(host_seconds,
+gpu_seconds)`` split per cache key so replayed identical requests charge
+their cached virtual time instead of re-executing the full
+seal -> PCIe -> MMU/DMA -> open pipeline at production time.  The
+functional execution is *deferred, never skipped*: the engine batches
+deferred requests through the sealed batch protocol under a suppressed
+clock, so end state and results stay identical to the slow path.
+
+Cache key and invalidation rules:
+
+* The key is the request's ``memo_key`` — ``(op, size, ...)`` attached
+  by the workload decomposition — plus its ``extra_host_seconds``
+  (modeled host time is part of the measured split).
+* The memo is configured with a *session-config token* fingerprinting
+  everything that parameterizes timing: the AEAD suite, data inflation,
+  channel queue depth, the crypto derate in effect, and the full cost
+  model.  A token change auto-invalidates every entry.
+* :meth:`RequestTimingMemo.invalidate` is the explicit hook for any
+  other session-state change a caller knows about.
+* Only successful runs are memoized; failures re-execute every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+
+def costs_fingerprint(costs) -> Tuple:
+    """A hashable fingerprint of every scalar cost-model parameter."""
+    if is_dataclass(costs):
+        items = [(f.name, getattr(costs, f.name)) for f in fields(costs)]
+    else:  # pragma: no cover - CostModel is a dataclass today
+        items = sorted(vars(costs).items())
+    return tuple((name, value) for name, value in items
+                 if isinstance(value, (int, float, str, bool, bytes)))
+
+
+class RequestTimingMemo:
+    """Cache of measured per-request virtual-time splits.
+
+    Entries map a cache key to the ``(host_seconds, gpu_seconds)`` the
+    slow path measured for that request shape.  The memo is *timing
+    only* — functional execution is the caller's concern.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Hashable, Tuple[float, float]] = {}
+        self._token: Optional[Hashable] = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def configure(self, token: Hashable) -> None:
+        """Bind the memo to a session/cost configuration.
+
+        Any change of token — different suite, inflation, queue depth,
+        crypto derate, or any cost-model parameter — invalidates every
+        cached timing, because each of those changes what an identical
+        request would charge.
+        """
+        if self._token is not None and token != self._token:
+            self.invalidate("session/cost configuration changed")
+        self._token = token
+
+    def invalidate(self, reason: str = "") -> None:
+        """Explicit invalidation hook for session-state changes."""
+        if self._entries:
+            self._entries.clear()
+        self.invalidations += 1
+
+    def get(self, key: Hashable) -> Optional[Tuple[float, float]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, host_seconds: float,
+            gpu_seconds: float) -> None:
+        self._entries[key] = (host_seconds, gpu_seconds)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations}

@@ -40,12 +40,25 @@ class ServeRequest:
     captured by the calls themselves (e.g. launch overhead for launches
     elided by chunk capping — the serving analogue of the harness's
     launch-count correction).
+
+    The optional fast-path metadata is what lets the engine memoize and
+    batch the request (see :mod:`repro.serve.memo`): ``memo_key``
+    identifies the request's *timing shape* (op + size + config-relevant
+    parameters) — requests without one are never memoized; ``batch_key``
+    marks runs of consecutive requests whose deferred functional
+    execution may be coalesced through the sealed batch protocol, via
+    ``batch_fn(api, requests)`` with ``batch_arg`` carrying each
+    request's per-item payload.
     """
 
     label: str
     fn: Callable[[Any], Any]
     timeout: Optional[float] = None
     extra_host_seconds: float = 0.0
+    memo_key: Optional[Any] = None
+    batch_key: Optional[Any] = None
+    batch_arg: Any = None
+    batch_fn: Optional[Callable[[Any, Any], None]] = None
     seq: int = -1
     outcome: str = PENDING
     result: Any = None

@@ -15,6 +15,7 @@ Section 4.2.1: HIX adds two hidden, EPC-resident data structures —
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -58,13 +59,74 @@ class TgmrEntry:
     paddr: int     # page-aligned MMIO physical address
 
 
+@dataclass(frozen=True)
+class TgmrRegion:
+    """A contiguous run of TGMR rows, stored as one interval.
+
+    EGADD registers whole BARs at once (tens of thousands of pages for a
+    real GPU), and every page in a run shares the same VA->PA offset, so
+    the hardware table is stored as intervals.  Per-page :class:`TgmrEntry`
+    rows are synthesized lazily for consumers that want them.
+    """
+
+    enclave_id: int
+    gpu_bdf: str
+    vaddr: int     # page-aligned linear address of the first page
+    paddr: int     # page-aligned MMIO physical address of the first page
+    npages: int
+
+    @property
+    def size(self) -> int:
+        return self.npages * PAGE_SIZE
+
+    def entry(self, index: int) -> TgmrEntry:
+        return TgmrEntry(self.enclave_id, self.gpu_bdf,
+                         self.vaddr + index * PAGE_SIZE,
+                         self.paddr + index * PAGE_SIZE)
+
+
+class _TgmrEntryView(Sequence):
+    """Lazy per-page sequence over interval-stored TGMR regions.
+
+    ``len`` and indexing are O(#regions); entries materialize only when
+    accessed, so registering a multi-gigabyte BAR stays cheap while
+    per-page consumers (tests, tables) keep their row-level view.
+    """
+
+    __slots__ = ("_regions",)
+
+    def __init__(self, regions: List[TgmrRegion]) -> None:
+        self._regions = regions
+
+    def __len__(self) -> int:
+        return sum(region.npages for region in self._regions)
+
+    def __iter__(self):
+        for region in self._regions:
+            for index in range(region.npages):
+                yield region.entry(index)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        total = len(self)
+        if index < 0:
+            index += total
+        if not 0 <= index < total:
+            raise IndexError("TGMR entry index out of range")
+        for region in self._regions:
+            if index < region.npages:
+                return region.entry(index)
+            index -= region.npages
+        raise IndexError("TGMR entry index out of range")
+
+
 class HixExtension:
     """GECS + TGMR storage and the walker validation they drive."""
 
     def __init__(self) -> None:
         self._gecs: Dict[str, GecsEntry] = {}
-        self._tgmr_by_paddr: Dict[int, TgmrEntry] = {}
-        self._tgmr_by_va: Dict[tuple, TgmrEntry] = {}
+        self._tgmr_regions: List[TgmrRegion] = []
 
     # -- GECS -----------------------------------------------------------------
 
@@ -109,14 +171,18 @@ class HixExtension:
 
     def register_mmio(self, enclave_id: int, vaddr: int, paddr: int,
                       npages: int, root_complex: RootComplex,
-                      elrange_check=None) -> List[TgmrEntry]:
+                      elrange_check=None) -> Sequence:
         """EGADD back-end: register npages of MMIO starting at (vaddr, paddr).
 
         Validates, per the paper: the caller owns a GPU (GECS), the
         physical range belongs to that GPU's MMIO (a programmed BAR or
         its expansion ROM), and the pair does not collide with existing
-        registrations.  ``elrange_check(vaddr)`` lets the SGX unit reject
-        virtual addresses inside ELRANGE (those must map EPC pages).
+        registrations.  ``elrange_check(vaddr, size)`` lets the SGX unit
+        reject virtual ranges overlapping ELRANGE (those must map EPC
+        pages); it returns the first offending page VA, or ``None``.
+
+        The whole run is stored as one :class:`TgmrRegion` interval; the
+        returned sequence is a lazy per-page view of it.
         """
         if vaddr % PAGE_SIZE or paddr % PAGE_SIZE:
             raise TgmrRegistrationError("EGADD addresses must be page-aligned")
@@ -133,56 +199,76 @@ class HixExtension:
         if not device.claims_address(paddr, size):
             raise TgmrRegistrationError(
                 f"[{paddr:#x}, {paddr + size:#x}) is not MMIO of GPU {gecs.gpu_bdf}")
-        entries = []
-        for i in range(npages):
-            page_va = vaddr + i * PAGE_SIZE
-            page_pa = paddr + i * PAGE_SIZE
-            if elrange_check is not None and elrange_check(page_va):
-                raise TgmrRegistrationError(
-                    f"virtual address {page_va:#x} lies inside ELRANGE")
-            if page_pa in self._tgmr_by_paddr:
-                raise TgmrRegistrationError(
-                    f"MMIO page {page_pa:#x} already registered")
-            if (enclave_id, page_va) in self._tgmr_by_va:
-                raise TgmrRegistrationError(
-                    f"virtual page {page_va:#x} already registered")
-            entries.append(TgmrEntry(enclave_id, gecs.gpu_bdf, page_va, page_pa))
-        for entry in entries:
-            self._tgmr_by_paddr[entry.paddr] = entry
-            self._tgmr_by_va[(enclave_id, entry.vaddr)] = entry
-        return entries
+        # Interval checks, reported as the first offending page in the
+        # order the per-page hardware walk would have found it: within a
+        # page, ELRANGE beats a physical collision beats a virtual one.
+        blockers = []
+        if elrange_check is not None:
+            hit = elrange_check(vaddr, size)
+            if hit is not None:
+                blockers.append((
+                    (hit - vaddr) // PAGE_SIZE, 0,
+                    f"virtual address {hit:#x} lies inside ELRANGE"))
+        for region in self._tgmr_regions:
+            overlap = max(paddr, region.paddr)
+            if overlap < min(paddr + size, region.paddr + region.size):
+                blockers.append((
+                    (overlap - paddr) // PAGE_SIZE, 1,
+                    f"MMIO page {overlap:#x} already registered"))
+            if region.enclave_id == enclave_id:
+                overlap = max(vaddr, region.vaddr)
+                if overlap < min(vaddr + size, region.vaddr + region.size):
+                    blockers.append((
+                        (overlap - vaddr) // PAGE_SIZE, 2,
+                        f"virtual page {overlap:#x} already registered"))
+        if blockers:
+            raise TgmrRegistrationError(min(blockers)[2])
+        region = TgmrRegion(enclave_id, gecs.gpu_bdf, vaddr, paddr, npages)
+        self._tgmr_regions.append(region)
+        return _TgmrEntryView([region])
 
     @property
-    def tgmr_entries(self) -> List[TgmrEntry]:
-        return list(self._tgmr_by_paddr.values())
+    def tgmr_entries(self) -> Sequence:
+        """Per-page TGMR rows (lazy; ``len``/indexing are O(#regions))."""
+        return _TgmrEntryView(list(self._tgmr_regions))
+
+    @property
+    def tgmr_regions(self) -> List[TgmrRegion]:
+        return list(self._tgmr_regions)
 
     # -- the extended walker check (Section 4.3.1) ------------------------------
 
     def validate_translation(self, ctx: AccessContext, page_va: int,
                              page_pa: int) -> None:
         """The four TGMR comparisons; raises TlbValidationError on failure."""
-        entry = self._tgmr_by_paddr.get(page_pa)
-        if entry is not None:
-            # (1) current process is the GPU enclave named by GECS
-            if ctx.enclave_id != entry.enclave_id:
-                raise TlbValidationError(
-                    f"{ctx.describe()} may not map trusted MMIO page "
-                    f"{page_pa:#x} (owned by GPU enclave {entry.enclave_id})")
-            # (2)+(3) the virtual address matches the registered one
-            if page_va != entry.vaddr:
-                raise TlbValidationError(
-                    f"trusted MMIO page {page_pa:#x} mapped at {page_va:#x}, "
-                    f"registered at {entry.vaddr:#x}")
-            return
+        for region in self._tgmr_regions:
+            if region.paddr <= page_pa < region.paddr + region.size:
+                # (1) current process is the GPU enclave named by GECS
+                if ctx.enclave_id != region.enclave_id:
+                    raise TlbValidationError(
+                        f"{ctx.describe()} may not map trusted MMIO page "
+                        f"{page_pa:#x} (owned by GPU enclave "
+                        f"{region.enclave_id})")
+                # (2)+(3) the virtual address matches the registered one
+                registered_va = region.vaddr + (page_pa - region.paddr)
+                if page_va != registered_va:
+                    raise TlbValidationError(
+                        f"trusted MMIO page {page_pa:#x} mapped at "
+                        f"{page_va:#x}, registered at {registered_va:#x}")
+                return
         # (4) reverse check: a registered virtual page of the GPU enclave
         # must translate to its registered physical page — a page-table
         # remap of the enclave's MMIO VA to attacker memory is rejected.
         if ctx.enclave_id is not None:
-            reverse = self._tgmr_by_va.get((ctx.enclave_id, page_va))
-            if reverse is not None and reverse.paddr != page_pa:
-                raise TlbValidationError(
-                    f"GPU-enclave MMIO va {page_va:#x} redirected to "
-                    f"{page_pa:#x} (registered {reverse.paddr:#x})")
+            for region in self._tgmr_regions:
+                if (region.enclave_id == ctx.enclave_id
+                        and region.vaddr <= page_va < region.vaddr + region.size):
+                    registered_pa = region.paddr + (page_va - region.vaddr)
+                    if registered_pa != page_pa:
+                        raise TlbValidationError(
+                            f"GPU-enclave MMIO va {page_va:#x} redirected to "
+                            f"{page_pa:#x} (registered {registered_pa:#x})")
+                    return
 
     # -- graceful release (Section 4.2.3, cooperative termination) ---------------
 
@@ -198,10 +284,8 @@ class HixExtension:
         if entry is None:
             return None
         del self._gecs[entry.gpu_bdf]
-        for tgmr in [t for t in self._tgmr_by_paddr.values()
-                     if t.enclave_id == enclave_id]:
-            del self._tgmr_by_paddr[tgmr.paddr]
-            del self._tgmr_by_va[(enclave_id, tgmr.vaddr)]
+        self._tgmr_regions = [region for region in self._tgmr_regions
+                              if region.enclave_id != enclave_id]
         return entry
 
     # -- cold boot ---------------------------------------------------------------
@@ -209,5 +293,4 @@ class HixExtension:
     def cold_boot_reset(self) -> None:
         """Clear GECS/TGMR — only a power cycle does this (Section 4.2.3)."""
         self._gecs.clear()
-        self._tgmr_by_paddr.clear()
-        self._tgmr_by_va.clear()
+        self._tgmr_regions.clear()

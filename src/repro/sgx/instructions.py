@@ -237,9 +237,21 @@ class SgxUnit:
         secs = self.enclave(enclave_id)
         if not secs.alive:
             raise EnclaveStateError("EGADD on a destroyed enclave")
+
+        def elrange_first_hit(base_va: int, size: int):
+            # First page of [base_va, base_va + size) fully inside
+            # ELRANGE, in interval form (no per-page walk): page ``p``
+            # offends iff ``secs.base <= p`` and ``p + PAGE_SIZE <=
+            # secs.limit``.
+            first = max(0, -(-(secs.base - base_va) // PAGE_SIZE))
+            last = (secs.limit - PAGE_SIZE - base_va) // PAGE_SIZE
+            if first * PAGE_SIZE < size and first <= last:
+                return base_va + first * PAGE_SIZE
+            return None
+
         return self.hix.register_mmio(
             enclave_id, vaddr, paddr, npages, self._root_complex,
-            elrange_check=lambda va: secs.elrange_contains(va, PAGE_SIZE))
+            elrange_check=elrange_first_hit)
 
     @_traced("sgx.egdestroy")
     def egdestroy(self, enclave_id: int) -> None:

@@ -27,7 +27,12 @@ from repro.sim.engine import (
     WorkUnit,
     run_lanes,
 )
-from repro.sim.pipeline import pipelined_time, pipelined_time_events, serial_time
+from repro.sim.pipeline import (
+    pipelined_time,
+    pipelined_time_events,
+    pipelined_times,
+    serial_time,
+)
 from repro.sim.trace import TraceRecorder, record
 
 __all__ = [
@@ -44,6 +49,7 @@ __all__ = [
     "run_lanes",
     "pipelined_time",
     "pipelined_time_events",
+    "pipelined_times",
     "serial_time",
     "TraceRecorder",
     "record",

@@ -11,6 +11,7 @@ way the paper's Figure 6/7 bars do (init / copy / crypto / compute).
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
@@ -66,6 +67,7 @@ class SimClock:
         self._by_category: Dict[str, float] = defaultdict(float)
         self._marks: List[Tuple[str, float]] = []
         self._listeners: List = []
+        self._suppressed = 0
 
     @property
     def now(self) -> float:
@@ -91,12 +93,29 @@ class SimClock:
         """
         if seconds < 0.0:
             raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        if self._suppressed:
+            return self._now
         start = self._now
         self._now += seconds
         self._by_category[category] += seconds
         for listener in self._listeners:
             listener(start, seconds, category)
         return self._now
+
+    @contextmanager
+    def suppressed(self):
+        """Discard every charge made inside the ``with`` block.
+
+        Used by the serving fast path to *functionally* replay deferred
+        (memoized) requests: the real bytes still move through the
+        sealed protocol, but their virtual time was already charged from
+        the memo, so the replay must not advance the clock again.
+        """
+        self._suppressed += 1
+        try:
+            yield self
+        finally:
+            self._suppressed -= 1
 
     def mark(self, label: str) -> None:
         """Record a named timestamp (useful for debugging traces)."""

@@ -91,17 +91,35 @@ PRIO_NORMAL = 1
 PRIO_REDISPATCH = 2
 
 
-@dataclass(frozen=True)
 class Event:
-    """One scheduled entry in the kernel heap."""
+    """One scheduled entry in the kernel heap.
 
-    time: float
-    priority: int
-    seq: int
+    A plain slotted object rather than a dataclass: the kernel allocates
+    one per scheduled step and :class:`EventClock` recycles drained
+    entries through a freelist, so construction, comparison, and reuse
+    stay allocation-free on the hot path.  ``fn`` is the callback the
+    heap invokes; it is cleared when the entry is recycled.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 fn: Optional[Callable[["Event"], None]] = None) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
 
     def __lt__(self, other: "Event") -> bool:
-        return ((self.time, self.priority, self.seq)
-                < (other.time, other.priority, other.seq))
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event(time={self.time!r}, priority={self.priority!r}, "
+                f"seq={self.seq!r})")
 
 
 class EventClock:
@@ -117,7 +135,8 @@ class EventClock:
 
     def __init__(self) -> None:
         self.now: float = 0
-        self._heap: List[Tuple[Event, Callable[[Event], None]]] = []
+        self._heap: List[Event] = []
+        self._free: List[Event] = []
         self._seq = itertools.count()
         self._listeners: List[Callable[[float, float, str], None]] = []
         self.events_processed = 0
@@ -141,20 +160,35 @@ class EventClock:
 
         ``seq`` defaults to a fresh allocation; passing a pre-allocated
         seq is how continuations keep their arrival-order rank.
+
+        The returned entry is recycled once its callback has run; do not
+        retain it past the callback.
         """
-        event = Event(time, priority,
-                      self.allocate_seq() if seq is None else seq)
-        heapq.heappush(self._heap, (event, fn))
+        if seq is None:
+            seq = self.allocate_seq()
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.fn = fn
+        else:
+            event = Event(time, priority, seq, fn)
+        heapq.heappush(self._heap, event)
         return event
 
     def run(self) -> float:
         """Drain the heap; returns the final virtual time."""
         heap = self._heap
+        free = self._free
         processed = 0
         while heap:
-            event, fn = heapq.heappop(heap)
+            event = heapq.heappop(heap)
             self.now = event.time
-            fn(event)
+            event.fn(event)
+            event.fn = None
+            free.append(event)
             processed += 1
         if processed:
             self.events_processed += processed
@@ -177,7 +211,7 @@ class EventClock:
         self._listeners.remove(listener)
 
 
-@dataclass
+@dataclass(slots=True)
 class Visit:
     """A pending exclusive-engine visit; per-lane queue heads compete."""
 
@@ -195,6 +229,12 @@ class Visit:
     # resume_seq); on_expire(now) fires at deadline expiry.
     on_complete: Optional[Callable[[Event], None]] = None
     on_expire: Optional[Callable[[float], None]] = None
+
+    def _fire_complete(self, event: Event) -> None:
+        # Scheduled directly as the completion callback — a bound method
+        # instead of a fresh closure per dispatch.
+        if self.on_complete is not None:
+            self.on_complete(event)
 
 
 class Wait:
@@ -241,6 +281,9 @@ class Process:
     executing under — the rank a visit submitted *now* competes with.
     """
 
+    __slots__ = ("_kernel", "_gen", "name", "current_seq", "alive",
+                 "finished_at", "_resume_value")
+
     def __init__(self, kernel: EventClock,
                  gen: Generator[Union[Wait, Acquire, _Block], object, None],
                  name: str = "") -> None:
@@ -250,6 +293,7 @@ class Process:
         self.current_seq: Optional[int] = None
         self.alive = True
         self.finished_at: Optional[float] = None
+        self._resume_value: object = None
 
     def start(self, at: float = 0, *, seq: Optional[int] = None) -> None:
         self._kernel.schedule(at, self._step, seq=seq)
@@ -257,13 +301,27 @@ class Process:
     def resume_at(self, time: float, value: object = None, *,
                   seq: Optional[int] = None,
                   priority: int = PRIO_NORMAL) -> None:
-        self._kernel.schedule(
-            time, lambda event: self._step(event, value),
-            priority=priority, seq=seq)
+        # A generator has at most one pending resume (a second send
+        # before the first fired would already be a kernel bug), so the
+        # value rides on the process instead of a per-resume closure.
+        self._resume_value = value
+        self._kernel.schedule(time, self._step_resume,
+                              priority=priority, seq=seq)
 
     def resume_now(self, event: Event, value: object = None) -> None:
         """Continue inside the current event (same time, same seq)."""
         self._step(event, value)
+
+    def _step_resume(self, event: Event) -> None:
+        value = self._resume_value
+        self._resume_value = None
+        self._step(event, value)
+
+    def _served(self, event: Event) -> None:
+        self.resume_now(event, "served")
+
+    def _expired(self, now: float) -> None:
+        self.resume_at(now, "timeout")
 
     def _step(self, event: Event, value: object = None) -> None:
         self.current_seq = event.seq
@@ -277,10 +335,8 @@ class Process:
             self.resume_at(self._kernel.now + cmd.seconds)
         elif isinstance(cmd, Acquire):
             visit = cmd.visit
-            visit.on_complete = (
-                lambda ev: self.resume_now(ev, "served"))
-            visit.on_expire = (
-                lambda now: self.resume_at(now, "timeout"))
+            visit.on_complete = self._served
+            visit.on_expire = self._expired
             cmd.resource.submit(visit)
         elif cmd is BLOCK:
             pass  # whoever handed out BLOCK resumes us explicitly
@@ -402,11 +458,8 @@ class Resource:
         # Engine-free arbitration first, then the lane's continuation
         # under its arrival-rank seq.
         self._kernel.schedule(finish, self._dispatch, priority=PRIO_DISPATCH)
-        self._kernel.schedule(
-            finish,
-            lambda ev, v=visit: (v.on_complete(ev)
-                                 if v.on_complete is not None else None),
-            seq=visit.resume_seq)
+        self._kernel.schedule(finish, visit._fire_complete,
+                              seq=visit.resume_seq)
 
 
 # ---------------------------------------------------------------------------

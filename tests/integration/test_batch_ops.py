@@ -1,0 +1,164 @@
+"""Integration tests: the sealed batch protocol (fused seal/open frames).
+
+The batch ops (``memcpy_htod_batch`` / ``memcpy_dtoh_batch`` /
+``launch_batch``) coalesce consecutive same-session requests into one
+sealed frame — one AEAD call and one chunk-buffer pass for the whole
+run — while charging each item the exact analytic virtual time the
+scalar call sequence would have charged.  These tests pin both halves:
+functional equivalence (bytes land where the scalar calls would put
+them, downloads return the same plaintext) and charge parity on the
+per-item analytic categories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto.blob import open_blob_chunks, seal_blob_chunks
+from repro.crypto.nonce import NonceSequence
+from repro.crypto.suite import FastAuthSuite
+from repro.errors import IntegrityError
+from repro.system import Machine, MachineConfig
+
+RNG = np.random.default_rng(7)
+
+#: Per-item analytic charge categories the batch APIs must reproduce
+#: exactly.  Device-level incidental categories (``gpu_dispatch``,
+#: ``gpu_cleanse``) legitimately differ — batching executes fewer real
+#: device ops — and ``gpu_ctx_switch`` depends on production order.
+PARITY_CATEGORIES = ("ipc", "copy_h2d", "copy_d2h", "crypto_gpu", "launch")
+
+
+def _chunks(sizes):
+    return [RNG.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+            for n in sizes]
+
+
+class TestSuiteChunkPrimitives:
+    def test_seal_open_roundtrip(self):
+        suite = FastAuthSuite(key=b"\x11" * 16)
+        chunks = _chunks([1, 17, 4096, 0, 333])
+        nonce = NonceSequence(channel_id=5).next()
+        ciphertext, tag = suite.seal_chunks(nonce, chunks, b"aad")
+        out = suite.open_chunks(nonce, ciphertext, tag,
+                                [len(c) for c in chunks], b"aad")
+        assert out == chunks
+
+    def test_open_rejects_wrong_length_table(self):
+        suite = FastAuthSuite(key=b"\x11" * 16)
+        chunks = _chunks([64, 64])
+        nonce = NonceSequence(channel_id=5).next()
+        ciphertext, tag = suite.seal_chunks(nonce, chunks)
+        with pytest.raises(IntegrityError):
+            suite.open_chunks(nonce, ciphertext, tag, [64, 65])
+
+    def test_blob_roundtrip_advances_one_nonce(self):
+        suite = FastAuthSuite(key=b"\x22" * 16)
+        nonces = NonceSequence(channel_id=9)
+        chunks = _chunks([100, 200, 300])
+        blob = seal_blob_chunks(suite, nonces, chunks, b"ctx")
+        assert nonces.counter == 1
+        assert open_blob_chunks(suite, blob, [100, 200, 300], b"ctx") \
+            == chunks
+
+
+class TestBatchFunctionalEquivalence:
+    def test_htod_batch_lands_bytes(self, hix_app):
+        sizes = [4096, 1, 8192, 777]
+        payloads = _chunks(sizes)
+        ptrs = [hix_app.cuMemAlloc(max(n, 1)) for n in sizes]
+        hix_app.cuMemcpyHtoDBatch(list(zip(ptrs, payloads)))
+        for ptr, payload, n in zip(ptrs, payloads, sizes):
+            assert hix_app.cuMemcpyDtoH(ptr, n) == payload
+
+    def test_dtoh_batch_returns_scalar_bytes(self, hix_app):
+        sizes = [2048, 64, 4096]
+        payloads = _chunks(sizes)
+        ptrs = [hix_app.cuMemAlloc(n) for n in sizes]
+        for ptr, payload in zip(ptrs, payloads):
+            hix_app.cuMemcpyHtoD(ptr, payload)
+        batched = hix_app.cuMemcpyDtoHBatch(
+            [(ptr, n) for ptr, n in zip(ptrs, sizes)])
+        assert batched == payloads
+
+    def test_batch_spanning_multiple_frames(self, hix_app):
+        """Items larger than one bulk frame split and still round-trip."""
+        sizes = [3 << 20, 512, 3 << 20]
+        payloads = _chunks(sizes)
+        ptrs = [hix_app.cuMemAlloc(n) for n in sizes]
+        hix_app.cuMemcpyHtoDBatch(list(zip(ptrs, payloads)))
+        assert hix_app.cuMemcpyDtoHBatch(
+            [(ptr, n) for ptr, n in zip(ptrs, sizes)]) == payloads
+
+    def test_launch_batch_runs_kernels(self, hix_app):
+        module = hix_app.cuModuleLoad(["builtin.memset32"])
+        ptr = hix_app.cuMemAlloc(4096)
+        hix_app.cuLaunchKernelBatch(module, [
+            ("builtin.memset32", [ptr, 1024, 0x11111111], 0.0),
+            ("builtin.memset32", [ptr, 512, 0x22222222], 0.0),
+        ])
+        out = np.frombuffer(hix_app.cuMemcpyDtoH(ptr, 4096),
+                            dtype=np.uint32)
+        assert (out[:512] == 0x22222222).all()
+        assert (out[512:1024] == 0x11111111).all()
+
+    def test_empty_batch_is_noop(self, hix_machine, hix_app):
+        before = hix_machine.clock.now
+        hix_app.cuMemcpyHtoDBatch([])
+        assert hix_app.cuMemcpyDtoHBatch([]) == []
+        assert hix_machine.clock.now == before
+
+
+class TestBatchChargeParity:
+    """Per-item analytic virtual time: batch == scalar sequence, bit
+    for bit, on every category in :data:`PARITY_CATEGORIES`."""
+
+    @staticmethod
+    def _session(machine):
+        app = machine.hix_session(machine.hix_service, "parity-user")
+        app.cuCtxCreate()
+        return app
+
+    def _charges(self, batched, sizes, op):
+        machine = Machine(MachineConfig())
+        machine.hix_service = machine.boot_hix()
+        app = self._session(machine)
+        payloads = _chunks(sizes)
+        ptrs = [app.cuMemAlloc(n) for n in sizes]
+        if op == "d2h":
+            for ptr, payload in zip(ptrs, payloads):
+                app.cuMemcpyHtoD(ptr, payload)
+        module = app.cuModuleLoad(["builtin.memset32"]) \
+            if op == "launch" else None
+        before = machine.clock.snapshot()
+        if op == "h2d":
+            if batched:
+                app.cuMemcpyHtoDBatch(list(zip(ptrs, payloads)))
+            else:
+                for ptr, payload in zip(ptrs, payloads):
+                    app.cuMemcpyHtoD(ptr, payload)
+        elif op == "d2h":
+            if batched:
+                app.cuMemcpyDtoHBatch(list(zip(ptrs, sizes)))
+            else:
+                for ptr, n in zip(ptrs, sizes):
+                    app.cuMemcpyDtoH(ptr, n)
+        else:
+            launches = [("builtin.memset32", [ptrs[0], 16, 1], 1e-4)
+                        for _ in sizes]
+            if batched:
+                app.cuLaunchKernelBatch(module, launches)
+            else:
+                for name, params, hint in launches:
+                    app.cuLaunchKernel(module, name, params,
+                                       compute_seconds=hint)
+        return machine.clock.elapsed_since(before).by_category
+
+    @pytest.mark.parametrize("op", ["h2d", "d2h", "launch"])
+    def test_parity(self, op):
+        sizes = [4096, 128, 65536, 1024]
+        scalar = self._charges(False, sizes, op)
+        batch = self._charges(True, sizes, op)
+        for category in PARITY_CATEGORIES:
+            assert batch.get(category, 0.0) \
+                == pytest.approx(scalar.get(category, 0.0),
+                                 rel=1e-12, abs=1e-15), category

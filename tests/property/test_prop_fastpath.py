@@ -1,0 +1,171 @@
+"""Property pin: the serving fast path is timing-invisible.
+
+The engine's fast path (``repro.serve.memo`` + sealed batch ops) changes
+*how* repeated requests execute — memo hits charge cached virtual-time
+splits and defer their functional work into coalesced batch frames — but
+must not change *what* the run reports.  This suite fuzzes serve
+workload shapes and pins, for fast path on vs off:
+
+* the full :class:`ServeReport` bit-identically — makespan, context
+  switches, utilization, and every per-tenant metric (``finish_time``,
+  ``gpu_busy``, ``host_busy``, ``waits``, ``stall_seconds``, outcome
+  counts, peak memory);
+* per-request measured splits and functional results (downloads return
+  the same bytes whether they were opened one sealed frame at a time or
+  scattered out of a fused batch frame);
+* the memo's invalidation contract (config-token changes drop entries).
+
+Equality is ``==``, never ``approx`` — bit-identical simulated time is
+the fast path's contract, enforced mechanically here.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.evalkit.serve_sweep import SWEEP_QUOTA, serve_run
+from repro.serve import ServeEngine
+from repro.serve.jobs import submit_workload
+from repro.serve.memo import RequestTimingMemo
+from repro.system import Machine, MachineConfig
+from repro.workloads.base import Workload
+
+TENANT_FIELDS = ("name", "submitted", "rejected_submits", "served",
+                 "timed_out", "denied", "backpressured", "failed",
+                 "finish_time", "gpu_busy", "host_busy", "waits",
+                 "stall_seconds", "peak_memory", "quota_denials")
+REPORT_FIELDS = ("scheduler", "makespan", "context_switches",
+                 "gpu_utilization")
+
+
+class SyntheticWorkload(Workload):
+    """A phase profile with no functional body — serve jobs only."""
+
+    def __init__(self, modeled_h2d: int, modeled_d2h: int,
+                 n_launches: int, compute_seconds: float) -> None:
+        self.name = "synthetic"
+        self.app_code = "SYN"
+        self.modeled_h2d = modeled_h2d
+        self.modeled_d2h = modeled_d2h
+        self.n_launches = n_launches
+        self.compute_seconds = compute_seconds
+
+    def run(self, api, inflation: float = 1.0) -> None:
+        raise NotImplementedError("serving decomposition only")
+
+
+MB = 1 << 20
+
+workloads = st.builds(
+    SyntheticWorkload,
+    modeled_h2d=st.integers(min_value=0, max_value=4 * MB),
+    modeled_d2h=st.integers(min_value=0, max_value=4 * MB),
+    n_launches=st.integers(min_value=0, max_value=24),
+    compute_seconds=st.floats(min_value=0.0, max_value=2e-3),
+)
+schedulers = st.sampled_from(["fair", "fifo", "round-robin"])
+user_counts = st.integers(min_value=1, max_value=3)
+inflations = st.sampled_from([4096.0, 8192.0, 65536.0])
+
+
+def assert_reports_identical(fast, slow):
+    for field in REPORT_FIELDS:
+        assert getattr(fast, field) == getattr(slow, field), field
+    assert len(fast.tenants) == len(slow.tenants)
+    for fast_tenant, slow_tenant in zip(fast.tenants, slow.tenants):
+        for field in TENANT_FIELDS:
+            assert getattr(fast_tenant, field) \
+                == getattr(slow_tenant, field), \
+                f"{fast_tenant.name}.{field}"
+
+
+class TestFastPathTimingInvisible:
+    @given(workload=workloads, users=user_counts, scheduler=schedulers,
+           inflation=inflations)
+    @settings(max_examples=25, deadline=None)
+    def test_report_bit_identical(self, workload, users, scheduler,
+                                  inflation):
+        fast = serve_run(workload, users, scheduler=scheduler,
+                         inflation=inflation, fast_path=True)
+        slow = serve_run(workload, users, scheduler=scheduler,
+                         inflation=inflation, fast_path=False)
+        assert_reports_identical(fast, slow)
+
+    @given(workload=workloads, users=st.integers(min_value=1, max_value=2),
+           inflation=inflations)
+    @settings(max_examples=10, deadline=None)
+    def test_per_request_splits_and_results(self, workload, users,
+                                            inflation):
+        """Request-level pin: every request's measured virtual-time
+        split, outcome, and functional result (download bytes) is
+        identical whether it executed scalar or memoized+batched."""
+        runs = {}
+        for fast_path in (True, False):
+            machine = Machine(MachineConfig(data_inflation=inflation))
+            engine = ServeEngine(machine, scheduler="fair",
+                                 max_tenants=users,
+                                 default_quota=SWEEP_QUOTA,
+                                 fast_path=fast_path)
+            for index in range(users):
+                client = engine.add_tenant(f"user{index}")
+                submit_workload(client, workload, inflation,
+                                machine.costs, seed=index)
+            engine.run()
+            runs[fast_path] = engine.clients
+        for fast_client, slow_client in zip(runs[True], runs[False]):
+            assert len(fast_client.requests) == len(slow_client.requests)
+            for fast_req, slow_req in zip(fast_client.requests,
+                                          slow_client.requests):
+                assert fast_req.label == slow_req.label
+                assert fast_req.outcome == slow_req.outcome
+                assert fast_req.host_seconds == slow_req.host_seconds
+                assert fast_req.gpu_seconds == slow_req.gpu_seconds
+                if isinstance(slow_req.result, (bytes, bytearray)):
+                    assert bytes(fast_req.result) == bytes(slow_req.result)
+
+    @given(workload=workloads, inflation=inflations)
+    @settings(max_examples=8, deadline=None)
+    def test_memo_actually_engages(self, workload, inflation):
+        """The pin above would pass vacuously if the fast path never
+        memoized; require hits whenever a shape repeats."""
+        machine = Machine(MachineConfig(data_inflation=inflation))
+        engine = ServeEngine(machine, scheduler="fair", max_tenants=2,
+                             default_quota=SWEEP_QUOTA, fast_path=True)
+        for index in range(2):
+            client = engine.add_tenant(f"user{index}")
+            submit_workload(client, workload, inflation, machine.costs,
+                            seed=index)
+        engine.run()
+        keyed = sum(1 for client in engine.clients
+                    for request in client.requests
+                    if request.memo_key is not None)
+        distinct = len({(request.memo_key, request.extra_host_seconds)
+                        for client in engine.clients
+                        for request in client.requests
+                        if request.memo_key is not None})
+        assert engine.memo.hits == keyed - distinct
+
+
+class TestMemoInvalidation:
+    tokens = st.tuples(st.sampled_from(["fast-auth", "aes-gcm"]),
+                       st.sampled_from([1.0, 0.7]),
+                       st.integers(min_value=1, max_value=8))
+
+    @given(first=tokens, second=tokens)
+    @settings(max_examples=40, deadline=None)
+    def test_token_change_invalidates(self, first, second):
+        memo = RequestTimingMemo()
+        memo.configure(first)
+        memo.put(("h2d", 4096), 1e-3, 2e-3)
+        memo.configure(second)
+        if first == second:
+            assert memo.get(("h2d", 4096)) == (1e-3, 2e-3)
+        else:
+            assert memo.get(("h2d", 4096)) is None
+            assert len(memo) == 0
+
+    def test_explicit_invalidate(self):
+        memo = RequestTimingMemo()
+        memo.configure(("token",))
+        memo.put("key", 1.0, 2.0)
+        memo.invalidate("session state changed")
+        assert memo.get("key") is None
+        assert memo.stats()["invalidations"] == 1

@@ -1,0 +1,380 @@
+"""Named chaos campaigns: composed faults + abuse + a two-sided verdict.
+
+A campaign runs the same victim workloads twice on fresh machines:
+
+1. **baseline** — victims alone, no faults, no abuse (resilience knobs
+   identical, so the comparison isolates the chaos, not the config);
+2. **chaos** — victims plus abusive tenants, with a seeded fault script
+   injected at virtual times by :class:`~repro.chaos.injector.FaultInjector`.
+
+The verdict is deliberately two-sided, because production cares about
+both halves at once:
+
+* **security holds** — every fault's tamper/recovery checks pass, every
+  victim round's integrity/cleanse check passes, and no adversary trap
+  buffer ever contains a victim secret in plaintext;
+* **fairness holds** — each victim's finish-time slowdown versus its
+  baseline stays within the campaign's declared bound, and victim
+  goodput (served / submitted) stays at or above the declared floor.
+
+Everything is virtual-time and seeded: two runs of the same campaign
+with the same seed render byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.abuse import ABUSE_KINDS, AbusePlan
+from repro.chaos.faults import Fault
+from repro.chaos.injector import FaultInjector
+from repro.chaos.workload import (
+    SECRET_PREFIX,
+    VictimPlan,
+    secret_marker,
+    submit_victim_stream,
+)
+from repro.obs import metrics as obs_metrics
+from repro.serve.engine import ServeEngine, ServeReport
+from repro.serve.resilience import BreakerConfig, RetryPolicy
+from repro.serve.session import TenantQuota
+from repro.system import Machine, MachineConfig
+
+
+@dataclass
+class SecurityCheck:
+    """One named pass/fail fact contributing to the security verdict."""
+
+    name: str
+    subject: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class FairnessCheck:
+    """One victim's service-quality comparison against its baseline."""
+
+    tenant: str
+    baseline_finish: float
+    chaos_finish: float
+    slowdown: float
+    goodput: float
+    ok: bool
+
+
+@dataclass
+class Campaign:
+    """A reproducible chaos scenario: who runs, what breaks, what must hold."""
+
+    name: str
+    description: str
+    #: Builds the fault script for this seed's victim tenant names.
+    faults_factory: Callable[[List[str]], List[Fault]]
+    victims: int = 2
+    rounds: int = 3
+    chunk_bytes: int = 4096
+    #: Abuse streams to run alongside, by kind (see ABUSE_KINDS).
+    abuse: Tuple[str, ...] = ()
+    scheduler: str = "fair"
+    #: Victim finish-time slowdown bound versus the faultless baseline.
+    fairness_bound: float = 4.0
+    #: Minimum victim served/submitted ratio under chaos.
+    goodput_floor: float = 0.9
+    data_inflation: float = 64.0
+    #: Resilience knobs for both runs.  Campaigns that stack several
+    #: faults on one victim need enough attempts to ride out two
+    #: recovery cycles, and a breaker tolerant enough not to shed a
+    #: victim that is failing *because of the injected faults*.
+    retry_policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=6))
+    breaker: BreakerConfig = field(
+        default_factory=lambda: BreakerConfig(window=8,
+                                              failure_threshold=0.8,
+                                              cooldown=1e-3))
+
+    def victim_names(self) -> List[str]:
+        return [f"victim{index}" for index in range(self.victims)]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign measured, plus the rendered verdict."""
+
+    campaign: str
+    seed: int
+    faults: List[Fault]
+    security: List[SecurityCheck]
+    fairness: List[FairnessCheck]
+    baseline: ServeReport
+    chaos: ServeReport
+    fairness_bound: float
+    goodput_floor: float
+    abuse_plans: List[AbusePlan] = field(default_factory=list)
+
+    @property
+    def security_ok(self) -> bool:
+        return all(check.ok for check in self.security)
+
+    @property
+    def fairness_ok(self) -> bool:
+        return all(check.ok for check in self.fairness)
+
+    @property
+    def ok(self) -> bool:
+        return self.security_ok and self.fairness_ok
+
+    def fault_kinds_fired(self) -> List[str]:
+        return sorted({fault.kind for fault in self.faults if fault.fired})
+
+    def render(self) -> str:
+        lines = [f"chaos campaign '{self.campaign}' (seed={self.seed})"]
+        lines.append(f"  faults injected: {len([f for f in self.faults if f.fired])}"
+                     f"/{len(self.faults)}"
+                     f" ({', '.join(self.fault_kinds_fired()) or 'none'})")
+        for fault in self.faults:
+            state = "fired" if fault.fired else "pending"
+            lines.append(f"    [{state}] {fault.label}"
+                         + (f" — {fault.detail}" if fault.detail else ""))
+        if self.abuse_plans:
+            lines.append("  abuse tenants:")
+            for plan in self.abuse_plans:
+                lines.append(f"    {plan.tenant} ({plan.kind}): "
+                             f"{len(plan.submitted)} submitted, "
+                             f"{plan.backpressured} backpressured")
+        lines.append(f"  security checks ({len(self.security)}):")
+        for check in self.security:
+            mark = "PASS" if check.ok else "FAIL"
+            lines.append(f"    [{mark}] {check.name} [{check.subject}]"
+                         + (f": {check.detail}" if check.detail else ""))
+        lines.append(f"  fairness (bound {self.fairness_bound:.2f}x slowdown, "
+                     f"goodput floor {self.goodput_floor:.0%}):")
+        for check in self.fairness:
+            mark = "PASS" if check.ok else "FAIL"
+            lines.append(
+                f"    [{mark}] {check.tenant}: "
+                f"{check.baseline_finish * 1e3:.3f} ms -> "
+                f"{check.chaos_finish * 1e3:.3f} ms "
+                f"({check.slowdown:.2f}x), goodput {check.goodput:.0%}")
+        lines.append(
+            f"  verdict: security "
+            f"{'PASS' if self.security_ok else 'FAIL'}, "
+            f"fairness {'PASS' if self.fairness_ok else 'FAIL'}"
+            f" -> {'OK' if self.ok else 'VIOLATION'}")
+        return "\n".join(lines)
+
+
+def _victim_quota() -> TenantQuota:
+    return TenantQuota(max_queue_depth=64, max_inflight=2,
+                       device_memory_bytes=8 << 20)
+
+
+def _abuse_quota(kind: str) -> TenantQuota:
+    if kind == "queue_flood":
+        # A tight queue is the flood's wall: most submissions bounce.
+        return TenantQuota(max_queue_depth=8, max_inflight=1,
+                           device_memory_bytes=1 << 20)
+    if kind == "quota_probe":
+        return TenantQuota(max_queue_depth=16, max_inflight=1,
+                           device_memory_bytes=1 << 20)
+    # timeout_surf
+    return TenantQuota(max_queue_depth=16, max_inflight=1,
+                       device_memory_bytes=1 << 20)
+
+
+def _build_engine(campaign: Campaign, seed: int,
+                  with_abuse: bool) -> Tuple[ServeEngine, List[VictimPlan],
+                                             List[AbusePlan]]:
+    machine = Machine(MachineConfig(data_inflation=campaign.data_inflation))
+    engine = ServeEngine(machine, scheduler=campaign.scheduler,
+                         max_tenants=campaign.victims + len(campaign.abuse),
+                         retry_policy=campaign.retry_policy,
+                         breaker=campaign.breaker,
+                         seed=seed)
+    plans: List[VictimPlan] = []
+    for name in campaign.victim_names():
+        client = engine.add_tenant(name, _victim_quota())
+        plans.append(submit_victim_stream(
+            client, rounds=campaign.rounds,
+            chunk_bytes=campaign.chunk_bytes, seed=seed))
+    abuse_plans: List[AbusePlan] = []
+    if with_abuse:
+        for index, kind in enumerate(campaign.abuse):
+            client = engine.add_tenant(f"abuse-{kind}-{index}",
+                                       _abuse_quota(kind))
+            abuse_plans.append(ABUSE_KINDS[kind](client, seed=index)
+                               if kind == "queue_flood"
+                               else ABUSE_KINDS[kind](client))
+    return engine, plans, abuse_plans
+
+
+def _trap_escape_checks(engine: ServeEngine,
+                        faults: Sequence[Fault]) -> List[SecurityCheck]:
+    """No adversary trap buffer may hold a victim secret in plaintext.
+
+    Traps only ever receive what crossed the untrusted path — sealed
+    bytes.  Reading any plaintext marker out of one would mean the
+    sealed channel leaked.
+    """
+    markers = [secret_marker(client.name) for client in engine.clients
+               if client.name.startswith("victim")]
+    checks: List[SecurityCheck] = []
+    adversary = engine.machine.adversary()
+    for fault in faults:
+        trap = getattr(fault, "trap", None)
+        if trap is None:
+            continue
+        paddr, nbytes = trap
+        contents = adversary.read_physical(paddr, nbytes)
+        leaked = any(marker in contents for marker in markers)
+        prefix_leaked = SECRET_PREFIX in contents
+        checks.append(SecurityCheck(
+            name=f"{fault.kind}.trap_ciphertext_only",
+            subject=fault.tenant or "trap",
+            ok=not (leaked or prefix_leaked),
+            detail="trap saw only sealed bytes" if not (leaked or prefix_leaked)
+            else "victim plaintext found in adversary trap buffer"))
+    return checks
+
+
+def run_campaign_obj(campaign: Campaign, seed: int = 0) -> CampaignResult:
+    """Execute *campaign* and assemble its two-sided verdict."""
+    obs_metrics.registry().counter("chaos.campaigns_run").inc()
+
+    baseline_engine, _, _ = _build_engine(campaign, seed, with_abuse=False)
+    baseline = baseline_engine.run()
+
+    engine, plans, abuse_plans = _build_engine(campaign, seed,
+                                               with_abuse=True)
+    faults = campaign.faults_factory(campaign.victim_names())
+    injector = FaultInjector(faults)
+    chaos = injector.run(engine)
+
+    security: List[SecurityCheck] = []
+    for plan in plans:
+        security.extend(SecurityCheck(*check) for check in plan.checks())
+    security.extend(SecurityCheck(*check)
+                    for check in injector.verify(engine))
+    security.extend(_trap_escape_checks(engine, faults))
+
+    fairness: List[FairnessCheck] = []
+    base_by_name: Dict[str, float] = {
+        report.name: report.finish_time for report in baseline.tenants}
+    goodput_by_name = {plan.tenant: plan.goodput() for plan in plans}
+    for report in chaos.tenants:
+        if report.name not in base_by_name:
+            continue
+        base_finish = base_by_name[report.name]
+        slowdown = (report.finish_time / base_finish
+                    if base_finish > 0.0 else 1.0)
+        goodput = goodput_by_name.get(report.name, 1.0)
+        fairness.append(FairnessCheck(
+            tenant=report.name,
+            baseline_finish=base_finish,
+            chaos_finish=report.finish_time,
+            slowdown=slowdown,
+            goodput=goodput,
+            ok=(slowdown <= campaign.fairness_bound
+                and goodput >= campaign.goodput_floor)))
+
+    return CampaignResult(campaign=campaign.name, seed=seed, faults=faults,
+                          security=security, fairness=fairness,
+                          baseline=baseline, chaos=chaos,
+                          fairness_bound=campaign.fairness_bound,
+                          goodput_floor=campaign.goodput_floor,
+                          abuse_plans=abuse_plans)
+
+
+# ---------------------------------------------------------------------------
+# Named campaigns.  Fault times are virtual seconds, calibrated against
+# the victim streams above: session establishment (attestation + key
+# exchange for every tenant) occupies roughly the first 19 ms of the
+# timeline at the default inflation, and victim requests then drain over
+# the following ~5-8 ms — so the data faults land at 20-23.5 ms, inside
+# the live-session window.  A fault that fires against a not-yet or
+# no-longer live session records "nothing to kill" in its detail and
+# its verify() checks fail, so miscalibration is loud, not silent.
+# ---------------------------------------------------------------------------
+
+
+def _churn_reset_faults(victims: List[str]) -> List[Fault]:
+    from repro.chaos.faults import (
+        AeadTamperFault,
+        DmaRedirectFault,
+        GpuResetFault,
+        SessionKillFault,
+    )
+    faults: List[Fault] = [
+        SessionKillFault(at=20.0e-3, tenant=victims[0]),
+        DmaRedirectFault(at=21.0e-3, tenant=victims[1 % len(victims)]),
+        AeadTamperFault(at=22.0e-3, tenant=victims[2 % len(victims)]),
+        GpuResetFault(at=23.5e-3),
+    ]
+    return faults
+
+
+def _smoke_faults(victims: List[str]) -> List[Fault]:
+    from repro.chaos.faults import GpuResetFault
+    return [GpuResetFault(at=20.5e-3)]
+
+
+def _storm_faults(victims: List[str]) -> List[Fault]:
+    from repro.chaos.faults import SchedulerStormFault, StarvationFault
+    return [
+        SchedulerStormFault(at=19.5e-3, duration=3.0e-3),
+        StarvationFault(at=23.0e-3, duration=1.5e-3, tenant=victims[0]),
+    ]
+
+
+CAMPAIGNS: Dict[str, Campaign] = {
+    "churn-reset": Campaign(
+        name="churn-reset",
+        description=("Session kill + DMA redirect + AEAD tamper + GPU "
+                     "reset against three victims, with queue-flooding "
+                     "and quota-probing abuse tenants alongside."),
+        faults_factory=_churn_reset_faults,
+        victims=3,
+        rounds=3,
+        abuse=("queue_flood", "quota_probe"),
+        fairness_bound=6.0,
+        goodput_floor=0.85,
+    ),
+    "smoke": Campaign(
+        name="smoke",
+        description=("CI smoke: one GPU reset mid-run with two abuse "
+                     "tenants; asserts the full two-sided verdict fast."),
+        faults_factory=_smoke_faults,
+        victims=2,
+        rounds=2,
+        abuse=("queue_flood", "quota_probe"),
+        fairness_bound=6.0,
+        goodput_floor=0.85,
+    ),
+    "storm": Campaign(
+        name="storm",
+        description=("Adversarial arbitration: a context-switch storm "
+                     "and a starvation window, plus a timeout-surfing "
+                     "abuse tenant; no data faults — the verdict is "
+                     "dominated by the fairness side."),
+        faults_factory=_storm_faults,
+        victims=2,
+        rounds=3,
+        abuse=("timeout_surf",),
+        fairness_bound=8.0,
+        goodput_floor=0.85,
+    ),
+}
+
+
+def get_campaign(name: str) -> Campaign:
+    try:
+        return CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise KeyError(f"unknown campaign {name!r} (known: {known})") from None
+
+
+def run_campaign(name: str, seed: int = 0) -> CampaignResult:
+    """Run the named campaign; the CLI entry point's whole backend."""
+    return run_campaign_obj(get_campaign(name), seed)

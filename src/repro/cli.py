@@ -8,6 +8,7 @@ Gives downstream users one entry point to every experiment::
     python -m repro ablations              # design-choice ablations
     python -m repro run pathfinder --mode hix   # one workload, w/ breakdown
     python -m repro serve --users 4        # multi-tenant serving demo
+    python -m repro chaos --campaign churn-reset  # fault-injection campaign
     python -m repro trace serve --users 2  # export a Perfetto profile
     python -m repro metrics                # metrics registry snapshot
     python -m repro list                   # available workloads
@@ -216,6 +217,19 @@ def cmd_validate(args) -> int:
     return 0 if report.all_hold else 1
 
 
+def cmd_chaos(args) -> int:
+    """Run a named chaos campaign and print the two-sided verdict."""
+    from repro.chaos import CAMPAIGNS, run_campaign
+    if args.list:
+        print("chaos campaigns:")
+        for name in sorted(CAMPAIGNS):
+            print(f"  {name:<14} {CAMPAIGNS[name].description}")
+        return 0
+    result = run_campaign(args.campaign, seed=args.seed)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def cmd_list(args) -> int:
     from repro.workloads import MATRIX_SIZES, rodinia_workloads
     print("Rodinia applications (Table 5):")
@@ -296,6 +310,17 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true",
                          help="print the snapshot as JSON")
     metrics.set_defaults(fn=cmd_metrics)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a fault-injection campaign against the "
+        "serving stack and assert the two-sided verdict "
+        "(security holds AND victim service quality holds)")
+    chaos.add_argument("--campaign", default="churn-reset",
+                       help="campaign name (see --list)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--list", action="store_true",
+                       help="list known campaigns and exit")
+    chaos.set_defaults(fn=cmd_chaos)
 
     sub.add_parser("list", help="list available workloads").set_defaults(
         fn=cmd_list)

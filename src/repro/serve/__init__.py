@@ -24,6 +24,12 @@ from repro.serve.engine import (
     TenantReport,
 )
 from repro.serve.queues import RequestQueue, ServeRequest
+from repro.serve.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    RetryPolicy,
+    classify_failure,
+)
 from repro.serve.scheduler import (
     SCHEDULER_NAMES,
     DeficitFairScheduler,
@@ -49,6 +55,10 @@ __all__ = [
     "TenantReport",
     "RequestQueue",
     "ServeRequest",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "classify_failure",
     "SCHEDULER_NAMES",
     "DeficitFairScheduler",
     "FifoScheduler",

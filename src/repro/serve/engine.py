@@ -47,12 +47,15 @@ paths cross-checkable.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
 
 from repro.errors import (
     AdmissionError,
+    CryptoError,
     DriverError,
+    GpuAlreadyOwned,
     QueueFullError,
     RequestRejected,
 )
@@ -62,15 +65,30 @@ from repro.serve.queues import (
     BACKPRESSURE,
     DENIED,
     FAILED,
+    PENDING,
     SERVED,
+    SHED,
     TIMEOUT,
     RequestQueue,
     ServeRequest,
 )
 from repro.serve.memo import RequestTimingMemo, costs_fingerprint
+from repro.serve.resilience import (
+    KIND_CIRCUIT_OPEN,
+    KIND_QUEUE_FULL,
+    KIND_QUOTA,
+    KIND_TIMEOUT,
+    BREAKER_KINDS,
+    RECOVERY_KINDS,
+    BreakerConfig,
+    CircuitBreaker,
+    RetryPolicy,
+    classify_failure,
+    tenant_rng,
+)
 from repro.serve.scheduler import Scheduler, make_scheduler
 from repro.serve.session import SessionTable, TenantQuota, TenantRecord
-from repro.sim.engine import TenantLane, WorkUnit, run_lanes
+from repro.sim.engine import EventClock, TenantLane, WorkUnit, run_lanes
 from repro.sim.clock import TimeBreakdown
 from repro.sim.trace import TraceEvent, render_lanes
 
@@ -176,6 +194,16 @@ class TenantClient:
         self.requests: List[ServeRequest] = []
         self.api: Optional[_GuardedApi] = None
         self.admission_error: Optional[str] = None
+        #: Bumped on every session re-establishment after a fault; each
+        #: executed request is stamped with the epoch it ran under.
+        self.session_epoch = 0
+        #: Called with the (guarded) API after a session recovery so the
+        #: workload can re-provision device state (allocations, modules)
+        #: that died with the old enclave context.
+        self.on_recover: Optional[Callable[[Any], None]] = None
+        # Served-time accounting feeding the queue-drain retry-after hint.
+        self.served_seconds = 0.0
+        self.served_count = 0
 
     def submit(self, label: str, fn: Callable[[Any], Any],
                timeout: Any = _UNSET,
@@ -225,6 +253,8 @@ class TenantReport:
     stall_seconds: float
     peak_memory: int
     quota_denials: int
+    shed: int = 0
+    retries: int = 0
 
 
 @dataclass
@@ -276,7 +306,10 @@ class ServeEngine:
                  default_quota: Optional[TenantQuota] = None,
                  crypto_efficiency: Optional[float] = None,
                  channel_queue_depth: int = 4,
-                 fast_path: bool = True) -> None:
+                 fast_path: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[BreakerConfig] = None,
+                 seed: int = 0) -> None:
         self._machine = machine
         self._service = service if service is not None else machine.boot_hix()
         if isinstance(scheduler, str):
@@ -289,6 +322,12 @@ class ServeEngine:
         self._crypto_efficiency = crypto_efficiency
         self._channel_queue_depth = channel_queue_depth
         self._fast_path = fast_path
+        #: Resilience knobs (repro.serve.resilience); both default off,
+        #: in which case failures are terminal exactly as before.
+        self._retry_policy = retry_policy
+        self._breaker_config = breaker
+        self._seed = seed
+        self._kernel: Optional[EventClock] = None
         #: Timing memo for the fast path; shared across tenants of one
         #: engine (they share the session configuration the key tokens).
         self.memo = RequestTimingMemo()
@@ -304,6 +343,19 @@ class ServeEngine:
     @property
     def service(self):
         return self._service
+
+    @property
+    def machine(self):
+        return self._machine
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @scheduler.setter
+    def scheduler(self, scheduler: Scheduler) -> None:
+        """Swap the arbitration policy (chaos wraps it adversarially)."""
+        self._scheduler = scheduler
 
     @property
     def clients(self) -> List[TenantClient]:
@@ -340,6 +392,79 @@ class ServeEngine:
             gpu += crypto * (1.0 / crypto_eff - 1.0)
         return max(host, 0.0), max(gpu, 0.0)
 
+    # -- resilience --------------------------------------------------------
+
+    def _queue_retry_after(self, client: TenantClient) -> float:
+        """Retry-after hint for ``queue_full``: how long until the
+        channel backlog likely drained.
+
+        The drain rate is the tenant's observed mean service time per
+        completed request; the backlog that must drain is bounded by the
+        channel queue depth.  Before any request completed, the dispatch
+        latency is the only calibrated per-request cost available.
+        """
+        if client.served_count:
+            per_request = client.served_seconds / client.served_count
+        else:
+            per_request = self._machine.costs.serve_dispatch_latency
+        return per_request * self._channel_queue_depth
+
+    def _restore_service(self) -> None:
+        """Bring back a dead GPU enclave service.
+
+        A killed GPU enclave leaves GECS bound (termination protection,
+        Section 4.2.3), so a re-boot attempt raises
+        :class:`GpuAlreadyOwned` and the only path back is a cold boot
+        — exactly the lifecycle the paper prescribes.
+        """
+        machine = self._machine
+        try:
+            self._service = machine.boot_hix()
+        except GpuAlreadyOwned:
+            machine.cold_boot()
+            self._service = machine.boot_hix()
+        obs_metrics.registry().counter("serve.retry.service_restores").inc()
+
+    def _recover_session(self, client: TenantClient, guarded: "_GuardedApi",
+                         crypto_eff: float) -> Iterator[WorkUnit]:
+        """Re-establish *client*'s session after enclave/session loss.
+
+        Runs the full trust path again — fresh user enclave, attestation
+        of the (possibly re-booted) GPU enclave, 3-party key exchange —
+        measured and charged to the tenant like any other work.  Device
+        state from the old session is gone (the enclave context was
+        destroyed with cleanse), so quota charges for old allocations
+        are released, the timing memo is invalidated (stale splits must
+        never replay against a fresh session), and the client's
+        ``on_recover`` hook re-provisions workload state.
+        """
+        machine = self._machine
+        clock = machine.clock
+        recorder = _ChargeRecorder()
+        clock.add_listener(recorder)
+        try:
+            with _span("serve.session-recovery", "serve",
+                       tenant=client.name):
+                if not self._service.alive:
+                    self._restore_service()
+                for token in list(guarded._handles.values()):
+                    self.table.release_memory(client.record, token)
+                guarded._handles.clear()
+                api = machine.hix_session(
+                    self._service, name=client.name,
+                    channel_queue_depth=self._channel_queue_depth)
+                api.cuCtxCreate()
+                guarded._api = api
+                client.session_epoch += 1
+                self.memo.invalidate("session re-established after fault")
+                if client.on_recover is not None:
+                    client.on_recover(guarded)
+        finally:
+            clock.remove_listener(recorder)
+        obs_metrics.registry().counter("serve.retry.session_recoveries").inc()
+        host, gpu = self._split(recorder.breakdown(), crypto_eff)
+        yield WorkUnit(host + gpu, None, "session-recovery")
+
     # -- execution ---------------------------------------------------------
 
     def _unit_stream(self, client: TenantClient,
@@ -355,6 +480,12 @@ class ServeEngine:
         machine = self._machine
         clock = machine.clock
         costs = machine.costs
+        policy = self._retry_policy
+        rng = (tenant_rng(self._seed, client.name)
+               if policy is not None else None)
+        breaker = (CircuitBreaker(self._breaker_config)
+                   if self._breaker_config is not None else None)
+        registry = obs_metrics.registry()
         try:
             self.table.open_context(client.record)
         except AdmissionError as exc:
@@ -363,6 +494,7 @@ class ServeEngine:
                 request = client.queue.pop()
                 request.outcome = DENIED
                 request.error = str(exc)
+                request.error_kind = KIND_QUOTA
             return
 
         recorder = _ChargeRecorder()
@@ -386,6 +518,7 @@ class ServeEngine:
 
         fast = self._fast_path
         pending: List[ServeRequest] = []
+        retry_backlog: Deque[ServeRequest] = deque()
 
         def flush_pending() -> None:
             """Run the deferred functional work of memo-hit requests.
@@ -396,6 +529,11 @@ class ServeEngine:
             — but the clock is suppressed: their virtual time was
             already charged from the memo, bit-identically to the slow
             path.
+
+            A group whose deferred execution fails (a fault landed
+            between the charge and the flush) is terminal when no retry
+            policy is configured; with one, each retryable request is
+            re-queued for a full slow-path re-execution.
             """
             if not pending:
                 return
@@ -415,22 +553,58 @@ class ServeEngine:
                         else:
                             head.result = head.fn(guarded)
                     except (AdmissionError, QueueFullError,
-                            RequestRejected, DriverError) as exc:
+                            RequestRejected, DriverError,
+                            CryptoError) as exc:
+                        kind = classify_failure(exc)
                         for deferred in group:
+                            deferred.attempts += 1
                             deferred.outcome = FAILED
                             deferred.error = str(exc)
+                            deferred.error_kind = kind
+                            if (policy is not None
+                                    and policy.retries(kind,
+                                                       deferred.attempts)):
+                                deferred.retrying = True
+                                retry_backlog.append(deferred)
+                    else:
+                        for deferred in group:
+                            deferred.session_epoch = client.session_epoch
                     index += len(group)
             pending.clear()
 
-        while client.queue:
-            request = client.queue.pop()
-            if fast and request.memo_key is not None:
+        while client.queue or retry_backlog:
+            if retry_backlog:
+                # Retries re-execute over the real sealed path — never
+                # from the memo, whose entry may describe the dead
+                # session the first attempt failed against.
+                request = retry_backlog.popleft()
+                is_retry = True
+            else:
+                request = client.queue.pop()
+                is_retry = False
+            if breaker is not None and not is_retry:
+                allowed, wait_hint = breaker.allow(
+                    self._kernel.now if self._kernel is not None else 0.0)
+                if not allowed:
+                    request.outcome = SHED
+                    request.error = "circuit breaker open"
+                    request.error_kind = KIND_CIRCUIT_OPEN
+                    request.retry_after = (wait_hint if wait_hint > 0.0
+                                           else self._queue_retry_after(
+                                               client))
+                    registry.counter("serve.retry.shed").inc()
+                    yield WorkUnit(0.0, None, request.label)
+                    continue
+            if fast and not is_retry and request.memo_key is not None:
                 memo_key = (request.memo_key, request.extra_host_seconds)
                 cached = self.memo.get(memo_key)
                 if cached is not None:
                     host, gpu = cached
                     request.host_seconds = host
                     request.gpu_seconds = gpu
+                    request.session_epoch = client.session_epoch
+                    client.served_seconds += host + gpu
+                    client.served_count += 1
                     pending.append(request)
                     if gpu <= 0.0:
                         request.outcome = SERVED
@@ -439,10 +613,12 @@ class ServeEngine:
 
                     def settle_hit(outcome: str,
                                    request: ServeRequest = request) -> None:
-                        if request.outcome == FAILED:
+                        if request.retrying or request.outcome == FAILED:
                             return  # deferred execution failed at flush
                         request.outcome = (SERVED if outcome == "served"
                                            else TIMEOUT)
+                        if outcome != "served":
+                            request.error_kind = KIND_TIMEOUT
 
                     yield WorkUnit(host, gpu, request.label,
                                    deadline=request.timeout,
@@ -451,6 +627,7 @@ class ServeEngine:
             else:
                 memo_key = None
             flush_pending()
+            request.attempts += 1
             recorder = _ChargeRecorder()
             clock.add_listener(recorder)
             try:
@@ -467,6 +644,7 @@ class ServeEngine:
                         ok = False
                         request.outcome = DENIED
                         request.error = str(exc)
+                        request.error_kind = KIND_QUOTA
                     except QueueFullError as exc:
                         # Channel backlog is the lower level's
                         # backpressure; surface it as such rather than
@@ -474,24 +652,52 @@ class ServeEngine:
                         ok = False
                         request.outcome = BACKPRESSURE
                         request.error = str(exc)
-                    except (RequestRejected, DriverError) as exc:
+                        request.error_kind = KIND_QUEUE_FULL
+                        request.retry_after = self._queue_retry_after(client)
+                    except (RequestRejected, DriverError,
+                            CryptoError) as exc:
                         ok = False
                         request.outcome = FAILED
                         request.error = str(exc)
+                        request.error_kind = classify_failure(exc)
             finally:
                 clock.remove_listener(recorder)
             host, gpu = self._split(recorder.breakdown(), crypto_eff)
             request.host_seconds = host
             request.gpu_seconds = gpu
+            request.session_epoch = client.session_epoch
             if ok and memo_key is not None:
                 # Only successful runs are memoized: a failure's timing
                 # depends on where it failed, not on the request shape.
                 self.memo.put(memo_key, host, gpu)
+            if breaker is not None:
+                now = self._kernel.now if self._kernel is not None else 0.0
+                if ok:
+                    breaker.record_success(now)
+                elif request.error_kind in BREAKER_KINDS:
+                    breaker.record_failure(now)
             if not ok:
                 # A denied/failed request consumed host time only; any
                 # engine time it managed to charge is not scheduled.
                 yield WorkUnit(host + gpu, None, request.label)
+                kind = request.error_kind
+                if policy is not None and policy.retries(kind,
+                                                         request.attempts):
+                    delay = policy.backoff(request.attempts, rng)
+                    registry.counter("serve.retry.attempts").inc()
+                    registry.histogram(
+                        "serve.retry.backoff_seconds").observe(delay)
+                    yield WorkUnit(delay, None,
+                                   f"{request.label}:backoff", idle=True)
+                    if kind in RECOVERY_KINDS:
+                        yield from self._recover_session(client, guarded,
+                                                         crypto_eff)
+                    request.retrying = True
+                    request.outcome = PENDING
+                    retry_backlog.append(request)
                 continue
+            client.served_seconds += host + gpu
+            client.served_count += 1
             if gpu <= 0.0:
                 # Host-only request (malloc/free/module-load): served
                 # inline, never visits the engine queue.
@@ -501,6 +707,8 @@ class ServeEngine:
 
             def settle(outcome: str, request: ServeRequest = request) -> None:
                 request.outcome = SERVED if outcome == "served" else TIMEOUT
+                if outcome != "served":
+                    request.error_kind = KIND_TIMEOUT
 
             yield WorkUnit(host, gpu, request.label,
                            deadline=request.timeout, on_outcome=settle)
@@ -510,20 +718,38 @@ class ServeEngine:
         clock.add_listener(recorder)
         try:
             with _span("serve.teardown", "serve", tenant=client.name):
-                api.cuCtxDestroy()
+                try:
+                    guarded._api.cuCtxDestroy()
+                except (DriverError, CryptoError):
+                    # The session/device died and no retry policy
+                    # resurrected it; quota bookkeeping still closes.
+                    pass
                 self.table.close_context(client.record)
         finally:
             clock.remove_listener(recorder)
+        # Satellite fix: session teardown is a memo-invalidation point.
+        # Entries are only dropped once the *last* context closes — the
+        # splits stay valid between tenants of one run (they share the
+        # session configuration), but never outlive the sessions they
+        # were measured against.
+        if all(record.contexts_open == 0 for record in self.table.tenants):
+            self.memo.invalidate("all sessions closed")
         host, gpu = self._split(recorder.breakdown(), crypto_eff)
         yield WorkUnit(host + gpu, None, "teardown")
 
-    def run(self) -> ServeReport:
+    def run(self, kernel: Optional[EventClock] = None) -> ServeReport:
         """Execute every queued request and return the serving report.
 
         One kernel :class:`~repro.sim.engine.Process` per tenant drives
         the tenant's unit stream to exhaustion over the shared engine
         Resource; the report is read off the kernel's lane accounting.
+
+        *kernel* lets a caller pre-schedule events on the run's event
+        clock before the lanes start — the chaos layer's injection
+        point.  A fresh kernel with no extra events is exactly the
+        default, so an idle chaos harness is a true no-op.
         """
+        self._kernel = kernel if kernel is not None else EventClock()
         self._scheduler.reset()
         crypto_eff = self._resolve_crypto_efficiency()
         # (Re)bind the memo to this run's timing configuration — any
@@ -543,7 +769,8 @@ class ServeEngine:
                             name=lane_names[index])
                  for index, client in enumerate(self._clients)]
         result = run_lanes(lanes, self._scheduler,
-                           self._machine.costs.gpu_context_switch)
+                           self._machine.costs.gpu_context_switch,
+                           kernel=self._kernel)
         gpu_busy = sum(t.gpu_busy for t in result.timelines)
         gpu_utilization = (gpu_busy / result.makespan
                            if result.makespan > 0.0 else 0.0)
@@ -572,6 +799,9 @@ class ServeEngine:
                 stall_seconds=result.stall_seconds[index],
                 peak_memory=client.record.peak_memory,
                 quota_denials=client.record.quota_denials,
+                shed=counts.get(SHED, 0),
+                retries=sum(max(request.attempts - 1, 0)
+                            for request in client.requests),
             ))
         report = ServeReport(
             scheduler=self._scheduler.name,
@@ -599,6 +829,8 @@ class ServeEngine:
             ("serve.requests_denied", lambda t: t.denied),
             ("serve.requests_backpressured", lambda t: t.backpressured),
             ("serve.requests_failed", lambda t: t.failed),
+            ("serve.requests_shed", lambda t: t.shed),
+            ("serve.retry.total", lambda t: t.retries),
         )
         for name, getter in outcome_counters:
             total = sum(getter(t) for t in report.tenants)

@@ -27,6 +27,7 @@ TIMEOUT = "timeout"
 DENIED = "denied"          # quota (AdmissionError) during execution
 BACKPRESSURE = "backpressure"  # channel queue overflow during execution
 FAILED = "failed"          # structured error reply from the GPU enclave
+SHED = "shed"              # dropped by the tenant's open circuit breaker
 
 
 @dataclass
@@ -65,6 +66,24 @@ class ServeRequest:
     error: Optional[str] = None
     host_seconds: float = 0.0
     gpu_seconds: float = 0.0
+    #: Structured failure cause (see :mod:`repro.serve.resilience`):
+    #: ``timeout`` / ``queue_full`` / ``crypto`` / ``device_lost`` /
+    #: ``quota`` / ``rejected`` / ``driver`` / ``circuit_open``.
+    error_kind: Optional[str] = None
+    #: For retryable rejections (``queue_full``, ``circuit_open``): the
+    #: engine's hint, in virtual seconds, for when a resubmission is
+    #: likely to succeed — derived from the observed queue drain rate.
+    retry_after: Optional[float] = None
+    #: How many times the request actually executed (0 if it only ever
+    #: charged a memoized split; failures and retries each count one).
+    attempts: int = 0
+    #: Session epoch the functional execution ran under; bumped on every
+    #: session re-establishment, so callers can tell whether two
+    #: requests observed the same device state.
+    session_epoch: int = 0
+    #: Internal: set when a failed execution was re-queued for retry so
+    #: stale visit settlements cannot overwrite the retry's outcome.
+    retrying: bool = False
 
 
 @dataclass

@@ -54,6 +54,15 @@ event popped — on *all* inputs, ties included:
 
 FIFO then selects ``min (ready, seq)`` over the queue heads, which is
 exactly heap pop order of the arrival events.
+
+The retired serving multiplexer used the opposite rule — drain every
+same-instant event, then arbitrate — and on simultaneous events the two
+rules hand a *stateful* scheduler (DRR credit, round-robin rotation)
+different candidate sets.  That divergence was declared fixed in the
+analytic oracle's favor; the differential suite therefore compares
+non-FIFO schedulers against the retired multiplexer only on timelines
+with no coincident instants (see ``tie_free_users`` and its
+rounding-collapse filter in ``tests/property/test_prop_engine.py``).
 """
 
 from __future__ import annotations
@@ -482,6 +491,11 @@ class WorkUnit:
     visit still queued ``deadline`` seconds after its host part finished
     is abandoned (timeout) instead of served.  ``on_outcome`` is called
     with ``"served"`` or ``"timeout"`` when the engine decides.
+
+    ``idle=True`` marks the unit as pure waiting (retry backoff): it
+    advances the lane's timeline by ``host_seconds`` and is recorded as
+    a ``backoff`` trace event, but does not count as host work and may
+    not carry a GPU visit.
     """
 
     host_seconds: float
@@ -489,6 +503,7 @@ class WorkUnit:
     label: str = ""
     deadline: Optional[float] = None
     on_outcome: Optional[Callable[[str], None]] = None
+    idle: bool = False
 
 
 @dataclass
@@ -638,6 +653,16 @@ def run_lanes(lanes: Sequence[TenantLane], scheduler,
                 pending_stall = None
             now = kernel.now
             done = now + unit.host_seconds
+            if unit.idle:
+                # Backoff sleep: occupies the lane's timeline without
+                # counting as host work (the tenant is waiting, not
+                # producing) and never carries an engine visit.
+                state.timeline.finish_time = max(
+                    state.timeline.finish_time, done)
+                state.host_free = done
+                record(state.index, now, unit.host_seconds, "backoff")
+                yield Wait(unit.host_seconds)
+                continue
             state.timeline.host_busy += unit.host_seconds
             state.timeline.finish_time = max(state.timeline.finish_time, done)
             state.host_free = done

@@ -23,7 +23,7 @@ them:
 from fractions import Fraction
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.multiuser import Segment, simulate_concurrent
 from repro.serve.scheduler import (
@@ -103,6 +103,34 @@ class TestKernelMatchesAnalyticOracle:
 # (sums of distinct floats).  On these the kernel must reproduce the
 # retired multiplexer under every scheduler — the kernel changed only
 # the simultaneous-event rule.
+#
+# "Almost surely" is not "surely": float rounding can collapse two
+# distinct instants onto one (t + a == t + b with a != b), and on such
+# a manufactured tie the kernel's pre-reservation rule and the retired
+# multiplexer's drain-then-dispatch rule hand a *stateful* scheduler
+# (DRR credit, round-robin rotation) different candidate sets — a
+# documented divergence, not a bug.  ``coincident_instants`` detects
+# the collapse on the oracle's own timeline so those draws are
+# rejected instead of asserted on.
+def coincident_instants(oracle_events, deadline=None):
+    """True when two timeline instants collapsed onto the same float.
+
+    Arrival instants (host-segment ends) and engine-free instants
+    (gpu-segment ends) must all be distinct for the tie-free premise to
+    hold; when visits carry a *deadline*, each instant's expiry time
+    joins the set (expiry races dispatch the same way arrivals do).
+    """
+    instants = []
+    for _tenant, event in oracle_events:
+        if event.category not in ("host", "gpu"):
+            continue
+        end = event.start + event.duration
+        instants.append(end)
+        if deadline is not None:
+            instants.append(end + deadline)
+    return len(instants) != len(set(instants))
+
+
 @st.composite
 def tie_free_users(draw):
     n = draw(st.integers(min_value=1, max_value=4))
@@ -144,6 +172,7 @@ class TestKernelMatchesRetiredMultiplexer:
             else WorkUnit(0.0, s.duration, s.label) for s in segments],
             max_inflight=1) for segments in users]
         oracle = oracle_multiplex(lanes, build_scheduler(name), cost)
+        assume(not coincident_instants(oracle.events))
         assert_exactly_equal(
             mine, (oracle.makespan, oracle.timelines,
                    {"context_switches": float(oracle.context_switches),
@@ -168,6 +197,7 @@ class TestKernelMatchesRetiredMultiplexer:
                 for segments in users]
         mine = multiplex(lanes(), build_scheduler(name), 120 * US)
         oracle = oracle_multiplex(lanes(), build_scheduler(name), 120 * US)
+        assume(not coincident_instants(oracle.events, deadline=deadline))
         assert mine.makespan == oracle.makespan
         assert mine.served == oracle.served
         assert mine.timed_out == oracle.timed_out

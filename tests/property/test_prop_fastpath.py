@@ -31,7 +31,8 @@ from repro.workloads.base import Workload
 TENANT_FIELDS = ("name", "submitted", "rejected_submits", "served",
                  "timed_out", "denied", "backpressured", "failed",
                  "finish_time", "gpu_busy", "host_busy", "waits",
-                 "stall_seconds", "peak_memory", "quota_denials")
+                 "stall_seconds", "peak_memory", "quota_denials",
+                 "shed", "retries")
 REPORT_FIELDS = ("scheduler", "makespan", "context_switches",
                  "gpu_utilization")
 

@@ -1,0 +1,267 @@
+"""Unit tests for the serving resilience layer (repro.serve.resilience).
+
+Covers failure classification, the retry/backoff policy, the circuit
+breaker's state machine, and the engine-level behaviours built on them:
+structured error kinds on failed requests, queue-full retry-after
+hints, and transparent retry to eventual success.
+"""
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    AttestationError,
+    BackpressureError,
+    CryptoError,
+    DriverError,
+    GpuUnavailable,
+    IntegrityError,
+    QueueFullError,
+    ReplayError,
+    RequestRejected,
+)
+from repro.serve import BreakerConfig, CircuitBreaker, RetryPolicy, ServeEngine
+from repro.serve.queues import BACKPRESSURE, FAILED, SERVED
+from repro.serve.resilience import (
+    KIND_CRYPTO,
+    KIND_DEVICE_LOST,
+    KIND_DRIVER,
+    KIND_QUEUE_FULL,
+    KIND_QUOTA,
+    KIND_REJECTED,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    classify_failure,
+    tenant_rng,
+)
+from repro.serve.session import TenantQuota
+from repro.system import Machine, MachineConfig
+
+
+class TestClassifyFailure:
+    @pytest.mark.parametrize("exc,kind", [
+        (AdmissionError("quota"), KIND_QUOTA),
+        (QueueFullError("full"), KIND_QUEUE_FULL),
+        (BackpressureError("full"), KIND_QUEUE_FULL),
+        (GpuUnavailable("gone"), KIND_DEVICE_LOST),
+        (IntegrityError("mac"), KIND_CRYPTO),
+        (ReplayError("nonce"), KIND_CRYPTO),
+        (AttestationError("quote"), KIND_CRYPTO),
+        (CryptoError("aead"), KIND_CRYPTO),
+        (RequestRejected("nope", "EINVAL"), KIND_REJECTED),
+        (DriverError("unknown"), KIND_DRIVER),
+    ])
+    def test_mapping(self, exc, kind):
+        assert classify_failure(exc) == kind
+
+    def test_untrusted_gpu_is_device_lost(self):
+        exc = DriverError("GPU enclave terminated; GPU no longer trusted")
+        assert classify_failure(exc) == KIND_DEVICE_LOST
+
+
+class TestTenantRng:
+    def test_deterministic_per_tenant(self):
+        a = tenant_rng(7, "alice").random()
+        b = tenant_rng(7, "alice").random()
+        assert a == b
+
+    def test_distinct_across_tenants_and_seeds(self):
+        draws = {tenant_rng(seed, name).random()
+                 for seed in (0, 1) for name in ("alice", "bob")}
+        assert len(draws) == 4
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_geometrically(self):
+        policy = RetryPolicy(base_delay=1e-3, multiplier=2.0, jitter=0.0)
+        rng = tenant_rng(0, "t")
+        delays = [policy.backoff(n, rng) for n in (1, 2, 3)]
+        assert delays == [1e-3, 2e-3, 4e-3]
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay=1e-3, multiplier=1.0, jitter=0.5)
+        first = policy.backoff(1, tenant_rng(3, "t"))
+        again = policy.backoff(1, tenant_rng(3, "t"))
+        assert first == again
+        assert 1e-3 <= first <= 1.5e-3
+
+    def test_retries_respects_kind_and_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.retries(KIND_QUEUE_FULL, 1)
+        assert policy.retries(KIND_DEVICE_LOST, 2)
+        assert not policy.retries(KIND_DEVICE_LOST, 3)
+        assert not policy.retries(KIND_QUOTA, 1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1e-3},
+        {"multiplier": 0.5},
+        {"jitter": -0.1},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def _tripped(self, config=None):
+        breaker = CircuitBreaker(config or BreakerConfig(window=4,
+                                                         failure_threshold=0.5,
+                                                         cooldown=1e-3))
+        for _ in range(4):
+            breaker.record_failure(0.0)
+        return breaker
+
+    def test_closed_allows(self):
+        breaker = CircuitBreaker(BreakerConfig())
+        allowed, hint = breaker.allow(0.0)
+        assert allowed and hint == 0.0
+        assert breaker.state == CLOSED
+
+    def test_trips_at_threshold(self):
+        breaker = self._tripped()
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+        allowed, hint = breaker.allow(0.0)
+        assert not allowed
+        assert hint == pytest.approx(1e-3)
+
+    def test_half_open_probe_then_close(self):
+        breaker = self._tripped()
+        allowed, _ = breaker.allow(2e-3)  # past cooldown: one probe
+        assert allowed
+        assert breaker.state == HALF_OPEN
+        breaker.record_success(2e-3)
+        assert breaker.state == CLOSED
+        assert breaker.allow(2e-3)[0]
+
+    def test_half_open_failure_retrips(self):
+        breaker = self._tripped()
+        breaker.allow(2e-3)
+        breaker.record_failure(2e-3)
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+
+    def test_successes_keep_it_closed(self):
+        breaker = CircuitBreaker(BreakerConfig(window=4))
+        for _ in range(16):
+            breaker.record_success(0.0)
+        assert breaker.state == CLOSED
+
+
+def _engine(**kwargs):
+    machine = Machine(MachineConfig(data_inflation=4096.0))
+    return machine, ServeEngine(machine, scheduler="fifo", **kwargs)
+
+
+class TestEngineErrorKinds:
+    def test_failure_kind_stamped_per_exception(self):
+        machine, engine = _engine()
+        client = engine.add_tenant("t")
+
+        def rejected(api):
+            raise RequestRejected("bad request", "EINVAL")
+
+        def crypto(api):
+            raise IntegrityError("tag mismatch")
+
+        ok = client.submit("ok", lambda api: None)
+        bad = client.submit("rejected", rejected)
+        mac = client.submit("crypto", crypto)
+        engine.run()
+        assert ok.outcome == SERVED and ok.error_kind is None
+        assert bad.outcome == FAILED and bad.error_kind == KIND_REJECTED
+        assert mac.outcome == FAILED and mac.error_kind == KIND_CRYPTO
+
+    def test_queue_full_gets_retry_after_hint(self):
+        machine, engine = _engine()
+        client = engine.add_tenant("t")
+
+        def overflow(api):
+            raise QueueFullError("channel queue full")
+
+        request = client.submit("overflow", overflow)
+        engine.run()
+        assert request.outcome == BACKPRESSURE
+        assert request.error_kind == KIND_QUEUE_FULL
+        # Drain-rate hint: bounded by depth x per-request estimate.
+        assert request.retry_after is not None and request.retry_after > 0.0
+
+
+class TestEngineRetry:
+    def test_transient_failure_retries_to_success(self):
+        machine, engine = _engine(
+            retry_policy=RetryPolicy(max_attempts=3, jitter=0.0))
+        client = engine.add_tenant("t")
+        state = {"calls": 0}
+
+        def flaky(api):
+            state["calls"] += 1
+            if state["calls"] < 3:
+                raise QueueFullError("transient")
+
+        request = client.submit("flaky", flaky)
+        report = engine.run()
+        assert state["calls"] == 3
+        assert request.outcome == SERVED
+        assert request.attempts == 3
+        assert report.tenant("t").retries == 2
+        assert report.tenant("t").failed == 0
+
+    def test_retry_budget_exhausts_to_failed(self):
+        machine, engine = _engine(
+            retry_policy=RetryPolicy(max_attempts=2, jitter=0.0))
+        client = engine.add_tenant("t")
+
+        def doomed(api):
+            raise QueueFullError("always full")
+
+        request = client.submit("doomed", doomed)
+        report = engine.run()
+        assert request.outcome == BACKPRESSURE
+        assert request.attempts == 2
+        assert report.tenant("t").retries == 1
+        assert report.tenant("t").backpressured == 1
+
+    def test_backoff_charged_in_virtual_time(self):
+        """The retry delay shows up on the serving timeline, not as a
+        free do-over: a retried run finishes later than a clean one."""
+        quota = TenantQuota(max_queue_depth=8)
+        durations = {}
+        for flaky_failures in (0, 2):
+            machine, engine = _engine(
+                retry_policy=RetryPolicy(max_attempts=3, jitter=0.0,
+                                         base_delay=5e-4))
+            client = engine.add_tenant("t", quota)
+            state = {"calls": 0}
+
+            def fn(api, failures=flaky_failures):
+                state["calls"] += 1
+                if state["calls"] <= failures:
+                    raise QueueFullError("transient")
+
+            client.submit("r", fn)
+            durations[flaky_failures] = engine.run().makespan
+        assert durations[2] > durations[0] + 1e-3
+
+
+class TestEngineBreaker:
+    def test_persistent_failure_sheds_queue(self):
+        machine, engine = _engine(
+            breaker=BreakerConfig(window=4, failure_threshold=0.5,
+                                  cooldown=1.0))
+        client = engine.add_tenant("t", TenantQuota(max_queue_depth=32))
+
+        def doomed(api):
+            raise RequestRejected("always", "EINVAL")
+
+        requests = [client.submit(f"r{i}", doomed) for i in range(12)]
+        report = engine.run()
+        tenant = report.tenant("t")
+        assert tenant.shed > 0
+        assert tenant.failed >= 4  # the window that tripped the breaker
+        shed = [r for r in requests if r.outcome == "shed"]
+        assert shed and all(r.error_kind == "circuit_open" for r in shed)
+        assert all(r.retry_after is not None and r.retry_after > 0.0
+                   for r in shed)

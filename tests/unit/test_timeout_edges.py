@@ -1,0 +1,208 @@
+"""Lazy timeout expiry edges (satellite of the chaos/resilience PR).
+
+The engine expires queued visits lazily at dispatch time with a strict
+``now > deadline`` comparison — a visit whose deadline lands exactly on
+the dispatch instant is SERVED, not expired.  These tests pin that
+boundary at the kernel level, then pin the serving-layer behaviours
+that ride on it: timeouts settling during a deferred fast-path flush,
+and a timeout racing a retry.  Every serving-level case also pins
+fast-path vs slow-path bit-identity, because timeout settlement is one
+of the places the two paths could plausibly diverge.
+"""
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.serve import ServeEngine, TenantQuota
+from repro.serve.jobs import submit_workload
+from repro.serve.queues import SERVED, TIMEOUT
+from repro.serve.resilience import KIND_TIMEOUT, RetryPolicy
+from repro.serve.scheduler import FifoScheduler
+from repro.sim.engine import TenantLane, WorkUnit, run_lanes
+from repro.system import Machine, MachineConfig
+from repro.workloads.base import Workload
+
+
+class SyntheticWorkload(Workload):
+    """Phase profile only — serving decomposition, no functional body."""
+
+    def __init__(self, modeled_h2d=1 << 20, modeled_d2h=1 << 20,
+                 n_launches=4, compute_seconds=5e-4):
+        self.name = "synthetic"
+        self.app_code = "SYN"
+        self.modeled_h2d = modeled_h2d
+        self.modeled_d2h = modeled_d2h
+        self.n_launches = n_launches
+        self.compute_seconds = compute_seconds
+
+    def run(self, api, inflation: float = 1.0) -> None:
+        raise NotImplementedError
+
+
+class TestKernelDeadlineBoundary:
+    """Strict ``now > deadline``: exactly-at-deadline dispatch serves."""
+
+    def _race(self, deadline: float) -> str:
+        outcomes = []
+        lanes = [
+            # Lane 0 occupies the engine for exactly 1.0s from t=0.
+            TenantLane(units=[WorkUnit(0.0, 1.0)]),
+            # Lane 1's visit is ready at t=0 and dispatches at t=1.0,
+            # when the engine frees — exactly its deadline.
+            TenantLane(units=[WorkUnit(0.0, 0.5, deadline=deadline,
+                                       on_outcome=outcomes.append)]),
+        ]
+        run_lanes(lanes, FifoScheduler(), ctx_switch_cost=0.0)
+        assert len(outcomes) == 1
+        return outcomes[0]
+
+    def test_deadline_exactly_at_dispatch_is_served(self):
+        assert self._race(deadline=1.0) == "served"
+
+    def test_deadline_epsilon_before_dispatch_expires(self):
+        assert self._race(deadline=1.0 - 1e-9) == "timeout"
+
+    def test_expiry_counts_once(self):
+        lanes = [
+            TenantLane(units=[WorkUnit(0.0, 1.0)]),
+            TenantLane(units=[WorkUnit(0.0, 0.5, deadline=0.25)]),
+        ]
+        result = run_lanes(lanes, FifoScheduler(), ctx_switch_cost=0.0)
+        assert result.timed_out == [0, 1]
+        assert result.served == [1, 0]
+
+
+def _contended_engine(fast_path: bool, timeout: float,
+                      retry_policy=None, seed: int = 0):
+    machine = Machine(MachineConfig(data_inflation=4096.0))
+    engine = ServeEngine(machine, scheduler="fifo", max_tenants=3,
+                         fast_path=fast_path, retry_policy=retry_policy,
+                         seed=seed)
+    quota = TenantQuota(max_queue_depth=64, max_inflight=1,
+                        request_timeout=timeout)
+    return machine, engine, quota
+
+
+REPORT_FIELDS = ("scheduler", "makespan", "context_switches",
+                 "gpu_utilization")
+TENANT_FIELDS = ("name", "submitted", "served", "timed_out", "denied",
+                 "backpressured", "failed", "finish_time", "gpu_busy",
+                 "host_busy", "waits", "stall_seconds", "shed", "retries")
+
+
+def _assert_identical(fast, slow):
+    for field in REPORT_FIELDS:
+        assert getattr(fast, field) == getattr(slow, field), field
+    for fast_tenant, slow_tenant in zip(fast.tenants, slow.tenants):
+        for field in TENANT_FIELDS:
+            assert getattr(fast_tenant, field) \
+                == getattr(slow_tenant, field), \
+                f"{fast_tenant.name}.{field}"
+
+
+class TestTimeoutDuringDeferredFlush:
+    """Timeouts must settle identically whether the timed-out request's
+    functional work ran scalar or was deferred into a batched flush."""
+
+    @pytest.mark.parametrize("timeout", [1e-4, 4e-4])
+    def test_fast_slow_bit_identity_with_timeouts(self, timeout):
+        workload = SyntheticWorkload(compute_seconds=2e-3)
+        reports = {}
+        requests = {}
+        for fast_path in (True, False):
+            machine, engine, quota = _contended_engine(fast_path, timeout)
+            for index in range(3):
+                client = engine.add_tenant(f"user{index}", quota)
+                submit_workload(client, workload, 4096.0, machine.costs,
+                                seed=index)
+            reports[fast_path] = engine.run()
+            requests[fast_path] = [request for client in engine.clients
+                                   for request in client.requests]
+        timed_out = sum(t.timed_out for t in reports[True].tenants)
+        assert timed_out >= 1, "contention should expire some requests"
+        _assert_identical(reports[True], reports[False])
+        for fast_req, slow_req in zip(requests[True], requests[False]):
+            assert fast_req.label == slow_req.label
+            assert fast_req.outcome == slow_req.outcome
+            if fast_req.outcome == TIMEOUT:
+                assert fast_req.error_kind == KIND_TIMEOUT
+                assert slow_req.error_kind == KIND_TIMEOUT
+
+    def test_memo_hits_still_occur_alongside_timeouts(self):
+        """Guard against the identity above passing vacuously because
+        timeouts disabled the fast path entirely."""
+        workload = SyntheticWorkload(compute_seconds=2e-3)
+        machine, engine, quota = _contended_engine(True, 4e-4)
+        for index in range(3):
+            client = engine.add_tenant(f"user{index}", quota)
+            submit_workload(client, workload, 4096.0, machine.costs,
+                            seed=index)
+        report = engine.run()
+        assert sum(t.timed_out for t in report.tenants) >= 1
+        assert engine.memo.hits > 0
+
+
+class TestTimeoutRacingRetry:
+    """A retried request can still time out on its second execution;
+    the retry must not resurrect or double-settle it."""
+
+    def _run(self, fast_path: bool):
+        machine, engine, quota = _contended_engine(
+            fast_path, timeout=5e-4,
+            retry_policy=RetryPolicy(max_attempts=3, jitter=0.0,
+                                     base_delay=1e-4))
+        calls = {"n": 0}
+
+        hog_client = engine.add_tenant("hog", TenantQuota(max_queue_depth=8))
+        state = {}
+
+        def hog_setup(api):
+            state["dptr"] = api.cuMemAlloc(4096)
+            state["module"] = api.cuModuleLoad(["builtin.memset32"])
+
+        def hog_launch(api):
+            api.cuLaunchKernel(state["module"], "builtin.memset32",
+                               [state["dptr"], 64, 1],
+                               compute_seconds=5e-3)
+
+        hog_client.submit("hog:setup", hog_setup)
+        hog_client.submit("hog:launch", hog_launch)
+
+        victim = engine.add_tenant("victim", quota)
+        vstate = {}
+
+        def victim_setup(api):
+            vstate["dptr"] = api.cuMemAlloc(4096)
+            vstate["module"] = api.cuModuleLoad(["builtin.memset32"])
+
+        def flaky_launch(api):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise QueueFullError("transient backlog")
+            api.cuLaunchKernel(vstate["module"], "builtin.memset32",
+                               [vstate["dptr"], 64, 1],
+                               compute_seconds=2e-3)
+
+        setup = victim.submit("victim:setup", victim_setup, timeout=None)
+        racer = victim.submit("victim:flaky", flaky_launch)
+        report = engine.run()
+        return report, setup, racer, calls["n"]
+
+    def test_retry_then_timeout_settles_once(self):
+        report, setup, racer, calls = self._run(fast_path=True)
+        assert setup.outcome == SERVED
+        assert calls == 2, "one failure, one retried execution"
+        assert racer.attempts == 2
+        assert racer.outcome == TIMEOUT
+        assert racer.error_kind == KIND_TIMEOUT
+        assert report.tenant("victim").retries == 1
+        assert report.tenant("victim").timed_out == 1
+
+    def test_fast_slow_bit_identity_under_retry_timeout_race(self):
+        fast_report, _, fast_racer, _ = self._run(fast_path=True)
+        slow_report, _, slow_racer, _ = self._run(fast_path=False)
+        _assert_identical(fast_report, slow_report)
+        assert fast_racer.outcome == slow_racer.outcome
+        assert fast_racer.attempts == slow_racer.attempts
+        assert fast_racer.host_seconds == slow_racer.host_seconds
+        assert fast_racer.gpu_seconds == slow_racer.gpu_seconds

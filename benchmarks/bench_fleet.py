@@ -1,0 +1,47 @@
+"""Fleet-tier benchmarks: lite-session sweeps at population scale.
+
+The fleet's pitch is that lightweight sessions (analytic cost charging,
+no per-tenant crypto state) make 10k-1M-user sweeps tractable.  These
+benchmarks pin that claim as a perf-gate budget: the 10k sweep is the
+steady regression probe (three rounds), and the 100k sweep runs once
+per gate so the acceptance-scale population stays within budget rather
+than quietly regressing back to quadratic behaviour.
+
+High inflation keeps modeled byte volumes realistic while the lite
+lanes charge virtual time only — wall clock here is pure event-kernel
+and router overhead.
+"""
+
+import pytest
+
+from repro.fleet import Fleet, LiteProfile
+from repro.system import MachineConfig
+from repro.workloads import MatrixAdd
+
+INFLATION = 8192.0
+
+
+def _profile():
+    return LiteProfile.from_workload(MatrixAdd(2048)).coalesced(4)
+
+
+def _sweep(sessions: int):
+    fleet = Fleet(machines=4, scheduler="fifo",
+                  machine_config=MachineConfig(data_inflation=INFLATION))
+    fleet.add_lite_sessions(_profile(), sessions)
+    report = fleet.run()
+    assert len(report.merged.tenants) == sessions
+    assert report.makespan > 0.0
+    return report
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_perf_fleet_lite_10k(benchmark):
+    """10k lite sessions over a 4-machine fleet, one shared clock."""
+    benchmark.pedantic(_sweep, args=(10_000,), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_perf_fleet_lite_100k(benchmark):
+    """Acceptance-scale population: 100k lite sessions, single round."""
+    benchmark.pedantic(_sweep, args=(100_000,), rounds=1, iterations=1)

@@ -20,7 +20,10 @@ cleanse verified on churn) *and* victims keep bounded service quality.
   fault scripts onto a serving run's event clock;
 * :mod:`~repro.chaos.campaign` — named campaigns composing all of the
   above into a deterministic, seeded two-sided verdict
-  (``repro chaos`` on the command line).
+  (``repro chaos`` on the command line);
+* :mod:`~repro.chaos.fleet` — the fleet-tier campaign: session
+  migration between machines under fire, traps swept on both
+  isolation domains.
 """
 
 from repro.chaos.faults import (
@@ -40,9 +43,11 @@ from repro.chaos.campaign import (
     Campaign,
     CampaignResult,
     SecurityCheck,
+    campaign_catalog,
     get_campaign,
     run_campaign,
 )
+from repro.chaos.fleet import FLEET_CAMPAIGN, run_fleet_campaign
 
 __all__ = [
     "AdversarialArbitration",
@@ -59,6 +64,9 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "SecurityCheck",
+    "campaign_catalog",
     "get_campaign",
     "run_campaign",
+    "FLEET_CAMPAIGN",
+    "run_fleet_campaign",
 ]

@@ -371,10 +371,27 @@ def get_campaign(name: str) -> Campaign:
     try:
         return CAMPAIGNS[name]
     except KeyError:
-        known = ", ".join(sorted(CAMPAIGNS))
+        known = ", ".join(sorted(campaign_catalog()))
         raise KeyError(f"unknown campaign {name!r} (known: {known})") from None
 
 
+def campaign_catalog() -> Dict[str, str]:
+    """Every runnable campaign name -> description, bespoke ones too."""
+    from repro.chaos.fleet import FLEET_CAMPAIGN, FLEET_CAMPAIGN_DESCRIPTION
+    catalog = {name: campaign.description
+               for name, campaign in CAMPAIGNS.items()}
+    catalog[FLEET_CAMPAIGN] = FLEET_CAMPAIGN_DESCRIPTION
+    return catalog
+
+
 def run_campaign(name: str, seed: int = 0) -> CampaignResult:
-    """Run the named campaign; the CLI entry point's whole backend."""
+    """Run the named campaign; the CLI entry point's whole backend.
+
+    Dispatches bespoke campaigns (the fleet-migration one drives a
+    :class:`~repro.fleet.Fleet`, not a single engine) before the
+    :class:`Campaign`-dataclass flow.
+    """
+    from repro.chaos.fleet import FLEET_CAMPAIGN, run_fleet_campaign
+    if name == FLEET_CAMPAIGN:
+        return run_fleet_campaign(seed)
     return run_campaign_obj(get_campaign(name), seed)

@@ -39,9 +39,16 @@ class FaultInjector:
         self.faults: List[Fault] = list(faults)
         self.arbitration: Optional[AdversarialArbitration] = None
 
-    def attach(self, engine) -> EventClock:
-        """Build the run's kernel with every fault scheduled on it."""
-        kernel = EventClock()
+    def attach(self, engine,
+               kernel: Optional[EventClock] = None) -> EventClock:
+        """Schedule every fault onto the run's kernel.
+
+        Builds a fresh :class:`EventClock` unless *kernel* is given —
+        fleet campaigns pass the shared clock so per-machine injectors
+        all book their faults on the one timeline the fleet runs on.
+        """
+        if kernel is None:
+            kernel = EventClock()
         ctx = ChaosContext(engine)
         lane_of = {client.name: index
                    for index, client in enumerate(engine.clients)}

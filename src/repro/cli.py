@@ -137,6 +137,55 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Serve a session population over a routed multi-machine fleet."""
+    from repro.evalkit.fleet_sweep import fleet_crosscheck
+    from repro.evalkit.serve_sweep import SWEEP_QUOTA
+    from repro.fleet import Fleet, LiteProfile
+    from repro.serve.jobs import submit_workload
+    from repro.system import MachineConfig
+    workload = _workload_by_name(args.workload)
+    config = MachineConfig(data_inflation=args.inflation)
+    fleet = Fleet(machines=args.machines, scheduler=args.scheduler,
+                  policy=args.policy, machine_config=config,
+                  max_tenants=max(args.users, 1),
+                  default_quota=SWEEP_QUOTA)
+    costs = fleet.machines[0].machine.costs
+    for index in range(args.users):
+        client = fleet.add_session(f"user{index}")
+        submit_workload(client, workload, args.inflation, costs, seed=index)
+    if args.lite:
+        profile = LiteProfile.from_workload(workload, costs)
+        if args.lite_max_units:
+            profile = profile.coalesced(args.lite_max_units)
+        fleet.add_lite_sessions(profile, args.lite, prefix="lite")
+    if args.migrate:
+        if args.machines < 2 or not args.users:
+            raise SystemExit("--migrate needs >= 2 machines and >= 1 user")
+        tenant = "user0"
+        source = fleet.router.machine_of(tenant)
+        fleet.plan_migration(tenant,
+                             target=(source + 1) % args.machines,
+                             at=args.migrate_at)
+    report = fleet.run()
+    print(report.render())
+    if args.migrate:
+        for record in report.migrations:
+            plan = record.plan
+            status = (f"completed at {record.landed_at * 1e3:.3f} ms, "
+                      f"{record.requests_moved} request(s) moved"
+                      if record.completed else
+                      "not fired (stream finished before the drain point)")
+            print(f"migration {plan.tenant}: m{plan.source} -> "
+                  f"m{plan.target} at {plan.at * 1e3:.3f} ms: {status}")
+    if args.crosscheck and args.users:
+        print()
+        print(fleet_crosscheck(workload, args.users, machines=args.machines,
+                               scheduler=args.scheduler, policy=args.policy,
+                               inflation=args.inflation).render())
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run a demo/serve workload under the span tracer; export profiles."""
     from repro.evalkit.profiles import profile_serve, profile_single
@@ -219,11 +268,12 @@ def cmd_validate(args) -> int:
 
 def cmd_chaos(args) -> int:
     """Run a named chaos campaign and print the two-sided verdict."""
-    from repro.chaos import CAMPAIGNS, run_campaign
+    from repro.chaos import campaign_catalog, run_campaign
     if args.list:
+        catalog = campaign_catalog()
         print("chaos campaigns:")
-        for name in sorted(CAMPAIGNS):
-            print(f"  {name:<14} {CAMPAIGNS[name].description}")
+        for name in sorted(catalog):
+            print(f"  {name:<16} {catalog[name]}")
         return 0
     result = run_campaign(args.campaign, seed=args.seed)
     print(result.render())
@@ -283,6 +333,39 @@ def build_parser() -> argparse.ArgumentParser:
                        default="fair")
     serve.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
     serve.set_defaults(fn=cmd_serve)
+
+    # Light module (dataclasses + zlib only) — safe to import eagerly
+    # for the choices list without dragging in the serve stack.
+    from repro.fleet.router import POLICY_NAMES
+    fleet = sub.add_parser(
+        "fleet", help="cluster-scale serving: M machines behind a "
+        "placement router on one event clock")
+    fleet.add_argument("--machines", type=int, default=4)
+    fleet.add_argument("--users", type=int, default=8,
+                       help="full-crypto sessions routed over the fleet")
+    fleet.add_argument("--workload", default="backprop")
+    fleet.add_argument("--policy", choices=list(POLICY_NAMES),
+                       default="least-loaded")
+    fleet.add_argument("--scheduler",
+                       choices=["fifo", "round-robin", "fair"],
+                       default="fair")
+    fleet.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
+    fleet.add_argument("--lite", type=int, default=0, metavar="N",
+                       help="additionally admit N lite (analytic-profile) "
+                       "sessions")
+    fleet.add_argument("--lite-max-units", type=int, default=0,
+                       help="coalesce each lite profile to at most this "
+                       "many units (0 = uncoalesced)")
+    fleet.add_argument("--migrate", action="store_true",
+                       help="demo: drain user0 off its machine mid-run and "
+                       "re-establish it on the next one")
+    fleet.add_argument("--migrate-at", type=float, default=0.010,
+                       help="virtual seconds at which the demo migration "
+                       "drain begins")
+    fleet.add_argument("--crosscheck", action="store_true",
+                       help="also pin the run against the per-machine "
+                       "analytic multi-user model")
+    fleet.set_defaults(fn=cmd_fleet)
 
     trace = sub.add_parser(
         "trace", help="run under the span tracer and export a "

@@ -173,5 +173,23 @@ class BackpressureError(ServeError):
     """A tenant's request queue is full — caller must retry later."""
 
 
+class PlacementError(AdmissionError):
+    """The fleet router could not place a session on any machine.
+
+    A structured rejection: ``retry_after`` is the router's estimate
+    (in virtual seconds) of when the least-loaded machine's backlog
+    will have drained enough for a resubmission to succeed — derived
+    from observed queue-drain rates, not just per-machine breaker
+    cooldowns — and ``error_kind`` carries the resilience-layer
+    failure class so clients can reuse their retry policies.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0,
+                 error_kind: str = "quota") -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.error_kind = error_kind
+
+
 class RequestTimeout(ServeError):
     """A queued request exceeded its deadline before being served."""

@@ -48,8 +48,17 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.errors import (
     AdmissionError,
@@ -65,6 +74,7 @@ from repro.serve.queues import (
     BACKPRESSURE,
     DENIED,
     FAILED,
+    MIGRATED,
     PENDING,
     SERVED,
     SHED,
@@ -73,6 +83,12 @@ from repro.serve.queues import (
     ServeRequest,
 )
 from repro.serve.memo import RequestTimingMemo, costs_fingerprint
+from repro.serve.report import (
+    ServeReport,
+    TenantReport,
+    build_tenant_report,
+    report_totals,
+)
 from repro.serve.resilience import (
     KIND_CIRCUIT_OPEN,
     KIND_QUEUE_FULL,
@@ -86,11 +102,11 @@ from repro.serve.resilience import (
     classify_failure,
     tenant_rng,
 )
-from repro.serve.scheduler import Scheduler, make_scheduler
+from repro.serve.scheduler import FifoScheduler, Scheduler, make_scheduler
 from repro.serve.session import SessionTable, TenantQuota, TenantRecord
-from repro.sim.engine import EventClock, TenantLane, WorkUnit, run_lanes
+from repro.sim.engine import EventClock, LaneRun, TenantLane, WorkUnit
 from repro.sim.clock import TimeBreakdown
-from repro.sim.trace import TraceEvent, render_lanes
+from repro.sim.trace import TraceEvent
 
 #: Clock categories that occupy the GPU execution engine exclusively.
 #: Everything else (ipc, copy pipelines, launches, mmio, session setup,
@@ -204,6 +220,28 @@ class TenantClient:
         # Served-time accounting feeding the queue-drain retry-after hint.
         self.served_seconds = 0.0
         self.served_count = 0
+        #: Cooperative drain (fleet migration): set by
+        #: :meth:`request_drain`; the tenant's unit stream finishes its
+        #: in-flight work, tears the session down, and hands unexecuted
+        #: requests to ``on_drained``.
+        self.drain_requested = False
+        self.on_drained: Optional[
+            Callable[[List[ServeRequest]], None]] = None
+        #: Requests handed off to another machine by a cooperative drain.
+        self.migrated_away = 0
+        #: Set on migrated-in clients: run ``on_recover`` right after
+        #: session setup to re-provision device state that stayed behind
+        #: (cleansed) on the source machine.
+        self.reprovision_on_start = False
+        #: When the engine runs with ``capture_units=True``, every
+        #: virtual-time unit this tenant charged (session setup, serves,
+        #: backoffs, teardown) — the ledger a lite-session profile
+        #: replays without any crypto state.
+        self.captured_units: Optional[List[WorkUnit]] = None
+
+    def request_drain(self) -> None:
+        """Ask the tenant's stream to stop pulling new requests."""
+        self.drain_requested = True
 
     def submit(self, label: str, fn: Callable[[Any], Any],
                timeout: Any = _UNSET,
@@ -234,69 +272,6 @@ class TenantClient:
         return counts
 
 
-@dataclass
-class TenantReport:
-    """Per-tenant serving metrics, all in simulated/virtual seconds."""
-
-    name: str
-    submitted: int
-    rejected_submits: int
-    served: int
-    timed_out: int
-    denied: int
-    backpressured: int
-    failed: int
-    finish_time: float
-    gpu_busy: float
-    host_busy: float
-    waits: float
-    stall_seconds: float
-    peak_memory: int
-    quota_denials: int
-    shed: int = 0
-    retries: int = 0
-
-
-@dataclass
-class ServeReport:
-    """Outcome of one :meth:`ServeEngine.run`."""
-
-    scheduler: str
-    makespan: float
-    context_switches: int
-    gpu_utilization: float
-    tenants: List[TenantReport]
-    lanes: Dict[str, List[TraceEvent]] = field(default_factory=dict)
-
-    def tenant(self, name: str) -> TenantReport:
-        for report in self.tenants:
-            if report.name == name:
-                return report
-        raise KeyError(name)
-
-    def render(self, width: int = 60) -> str:
-        lines = [
-            f"serve: {len(self.tenants)} tenant(s), "
-            f"scheduler={self.scheduler}, "
-            f"makespan={self.makespan * 1e3:.3f} ms, "
-            f"ctx_switches={self.context_switches}, "
-            f"gpu_util={self.gpu_utilization:.1%}",
-        ]
-        header = (f"{'tenant':>12} {'srv':>4} {'t/o':>4} {'den':>4} "
-                  f"{'bp':>4} {'fail':>4} {'finish_ms':>10} "
-                  f"{'gpu_ms':>8} {'wait_ms':>8}")
-        lines.append(header)
-        for t in self.tenants:
-            lines.append(
-                f"{t.name:>12} {t.served:>4} {t.timed_out:>4} "
-                f"{t.denied:>4} {t.backpressured:>4} {t.failed:>4} "
-                f"{t.finish_time * 1e3:>10.3f} {t.gpu_busy * 1e3:>8.3f} "
-                f"{t.waits * 1e3:>8.3f}")
-        if self.lanes:
-            lines.append(render_lanes(self.lanes, width=width))
-        return "\n".join(lines)
-
-
 class ServeEngine:
     """Multi-tenant serving loop over one GPU enclave."""
 
@@ -309,7 +284,8 @@ class ServeEngine:
                  fast_path: bool = True,
                  retry_policy: Optional[RetryPolicy] = None,
                  breaker: Optional[BreakerConfig] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 capture_units: bool = False) -> None:
         self._machine = machine
         self._service = service if service is not None else machine.boot_hix()
         if isinstance(scheduler, str):
@@ -327,7 +303,16 @@ class ServeEngine:
         self._retry_policy = retry_policy
         self._breaker_config = breaker
         self._seed = seed
+        #: Tee every tenant's charged units into
+        #: ``client.captured_units`` (lite-session profile capture).
+        self.capture_units = capture_units
         self._kernel: Optional[EventClock] = None
+        # Run state between start() and finish() (fleet shared-kernel
+        # runs hold several engines open across one kernel drain).
+        self._lane_run: Optional[LaneRun] = None
+        self._lane_names: List[str] = []
+        self._lane_clients: List[Optional[TenantClient]] = []
+        self._crypto_eff = 1.0
         #: Timing memo for the fast path; shared across tenants of one
         #: engine (they share the session configuration the key tokens).
         self.memo = RequestTimingMemo()
@@ -486,6 +471,21 @@ class ServeEngine:
         breaker = (CircuitBreaker(self._breaker_config)
                    if self._breaker_config is not None else None)
         registry = obs_metrics.registry()
+
+        if self.capture_units:
+            client.captured_units = []
+        capture = client.captured_units
+
+        def emit(unit: WorkUnit) -> WorkUnit:
+            # Tee the charge (not the callbacks) into the lite-session
+            # capture ledger: replaying these units charges virtual time
+            # bit-identically without touching any crypto state.
+            if capture is not None:
+                capture.append(WorkUnit(unit.host_seconds, unit.gpu_seconds,
+                                        unit.label, deadline=unit.deadline,
+                                        idle=unit.idle))
+            return unit
+
         try:
             self.table.open_context(client.record)
         except AdmissionError as exc:
@@ -510,11 +510,27 @@ class ServeEngine:
         host, gpu = self._split(recorder.breakdown(), crypto_eff)
         # Session setup is serial host work (attestation + DH); any
         # engine seconds it charged are folded in rather than scheduled.
-        yield WorkUnit(host + gpu, None, "session-setup")
+        yield emit(WorkUnit(host + gpu, None, "session-setup"))
 
         guarded = _GuardedApi(api, self.table, client.record,
                               self._alloc_tokens)
         client.api = guarded
+
+        if client.reprovision_on_start and client.on_recover is not None:
+            # Migrated-in session: device state stayed behind (cleansed)
+            # on the source machine, so the workload's recovery hook
+            # re-provisions it against the fresh session — measured and
+            # charged like any other work.
+            recorder = _ChargeRecorder()
+            clock.add_listener(recorder)
+            try:
+                with _span("serve.session-reprovision", "serve",
+                           tenant=client.name):
+                    client.on_recover(guarded)
+            finally:
+                clock.remove_listener(recorder)
+            host, gpu = self._split(recorder.breakdown(), crypto_eff)
+            yield emit(WorkUnit(host + gpu, None, "reprovision"))
 
         fast = self._fast_path
         pending: List[ServeRequest] = []
@@ -573,6 +589,11 @@ class ServeEngine:
             pending.clear()
 
         while client.queue or retry_backlog:
+            if client.drain_requested:
+                # Cooperative drain: stop pulling work, flush what was
+                # already charged, and let the handoff below move the
+                # rest of the backlog to another machine.
+                break
             if retry_backlog:
                 # Retries re-execute over the real sealed path — never
                 # from the memo, whose entry may describe the dead
@@ -593,7 +614,7 @@ class ServeEngine:
                                            else self._queue_retry_after(
                                                client))
                     registry.counter("serve.retry.shed").inc()
-                    yield WorkUnit(0.0, None, request.label)
+                    yield emit(WorkUnit(0.0, None, request.label))
                     continue
             if fast and not is_retry and request.memo_key is not None:
                 memo_key = (request.memo_key, request.extra_host_seconds)
@@ -608,7 +629,7 @@ class ServeEngine:
                     pending.append(request)
                     if gpu <= 0.0:
                         request.outcome = SERVED
-                        yield WorkUnit(host, None, request.label)
+                        yield emit(WorkUnit(host, None, request.label))
                         continue
 
                     def settle_hit(outcome: str,
@@ -620,9 +641,9 @@ class ServeEngine:
                         if outcome != "served":
                             request.error_kind = KIND_TIMEOUT
 
-                    yield WorkUnit(host, gpu, request.label,
-                                   deadline=request.timeout,
-                                   on_outcome=settle_hit)
+                    yield emit(WorkUnit(host, gpu, request.label,
+                                        deadline=request.timeout,
+                                        on_outcome=settle_hit))
                     continue
             else:
                 memo_key = None
@@ -679,7 +700,7 @@ class ServeEngine:
             if not ok:
                 # A denied/failed request consumed host time only; any
                 # engine time it managed to charge is not scheduled.
-                yield WorkUnit(host + gpu, None, request.label)
+                yield emit(WorkUnit(host + gpu, None, request.label))
                 kind = request.error_kind
                 if policy is not None and policy.retries(kind,
                                                          request.attempts):
@@ -687,11 +708,13 @@ class ServeEngine:
                     registry.counter("serve.retry.attempts").inc()
                     registry.histogram(
                         "serve.retry.backoff_seconds").observe(delay)
-                    yield WorkUnit(delay, None,
-                                   f"{request.label}:backoff", idle=True)
+                    yield emit(WorkUnit(delay, None,
+                                        f"{request.label}:backoff",
+                                        idle=True))
                     if kind in RECOVERY_KINDS:
-                        yield from self._recover_session(client, guarded,
-                                                         crypto_eff)
+                        for unit in self._recover_session(client, guarded,
+                                                          crypto_eff):
+                            yield emit(unit)
                     request.retrying = True
                     request.outcome = PENDING
                     retry_backlog.append(request)
@@ -702,7 +725,7 @@ class ServeEngine:
                 # Host-only request (malloc/free/module-load): served
                 # inline, never visits the engine queue.
                 request.outcome = SERVED
-                yield WorkUnit(host, None, request.label)
+                yield emit(WorkUnit(host, None, request.label))
                 continue
 
             def settle(outcome: str, request: ServeRequest = request) -> None:
@@ -710,10 +733,11 @@ class ServeEngine:
                 if outcome != "served":
                     request.error_kind = KIND_TIMEOUT
 
-            yield WorkUnit(host, gpu, request.label,
-                           deadline=request.timeout, on_outcome=settle)
+            yield emit(WorkUnit(host, gpu, request.label,
+                                deadline=request.timeout, on_outcome=settle))
 
         flush_pending()
+        draining = client.drain_requested
         recorder = _ChargeRecorder()
         clock.add_listener(recorder)
         try:
@@ -724,6 +748,13 @@ class ServeEngine:
                     # The session/device died and no retry policy
                     # resurrected it; quota bookkeeping still closes.
                     pass
+                if draining:
+                    # The enclave context was destroyed with cleanse;
+                    # release the quota charges of the allocations that
+                    # died with it (the target re-provisions its own).
+                    for token in list(guarded._handles.values()):
+                        self.table.release_memory(client.record, token)
+                    guarded._handles.clear()
                 self.table.close_context(client.record)
         finally:
             clock.remove_listener(recorder)
@@ -735,7 +766,191 @@ class ServeEngine:
         if all(record.contexts_open == 0 for record in self.table.tenants):
             self.memo.invalidate("all sessions closed")
         host, gpu = self._split(recorder.breakdown(), crypto_eff)
-        yield WorkUnit(host + gpu, None, "teardown")
+        yield emit(WorkUnit(host + gpu, None, "teardown"))
+
+        if draining:
+            # Hand the unexecuted backlog off *after* the teardown unit
+            # has charged: the next pull happens once teardown's host
+            # time elapsed, so the target's fresh session setup starts
+            # strictly after the source session closed — sessions move
+            # between isolation domains only via full re-establishment.
+            remaining: List[ServeRequest] = list(retry_backlog)
+            retry_backlog.clear()
+            while client.queue:
+                remaining.append(client.queue.pop())
+            if remaining:
+                handed = set(map(id, remaining))
+                client.requests = [request for request in client.requests
+                                   if id(request) not in handed]
+                for request in remaining:
+                    request.outcome = MIGRATED
+                    request.error = None
+                    request.error_kind = None
+                    request.retrying = False
+            client.migrated_away = len(remaining)
+            registry.counter("serve.migrations.drained").inc()
+            if client.on_drained is not None:
+                client.on_drained(remaining)
+
+    def start(self, kernel: EventClock,
+              extra_lanes: Sequence[TenantLane] = ()) -> LaneRun:
+        """Prepare this engine's lanes on *kernel* without draining it.
+
+        The fleet tier calls ``start`` on every machine's engine with
+        ONE shared kernel, drains it once, then reads each engine's
+        :meth:`finish` — the machines' virtual timelines interleave
+        instead of running back to back.  ``run`` is exactly
+        ``start`` + ``kernel.run()`` + ``finish``, so a bare engine run
+        and a 1-machine fleet produce bit-identical reports.
+
+        *extra_lanes* ride along on the same engine Resource without a
+        tenant client — the lite-session path (see
+        :mod:`repro.fleet.lite`): their charges are analytic, so they
+        need no crypto state and their report rows are read straight
+        off the lane accounting.
+        """
+        self._kernel = kernel
+        self._scheduler.reset()
+        crypto_eff = self._crypto_eff = self._resolve_crypto_efficiency()
+        # (Re)bind the memo to this run's timing configuration — any
+        # cost-model or session-config change invalidates cached splits.
+        self.memo.configure(self._memo_token(crypto_eff))
+
+        lane_names: List[str] = []
+        seen_names = set()
+        for index, client in enumerate(self._clients):
+            name = client.name
+            if name in seen_names:
+                name = f"{name}#{index}"
+            lane_names.append(name)
+            seen_names.add(name)
+
+        lanes = [TenantLane(units=self._unit_stream(client, crypto_eff),
+                            weight=client.record.quota.weight,
+                            max_inflight=client.record.quota.max_inflight,
+                            name=lane_names[index])
+                 for index, client in enumerate(self._clients)]
+        self._lane_clients = list(self._clients)
+        for lane in extra_lanes:
+            name = lane.name or f"lane{len(lane_names)}"
+            if name in seen_names:
+                name = f"{name}#{len(lane_names)}"
+            lane.name = name
+            lane_names.append(name)
+            seen_names.add(name)
+            lanes.append(lane)
+            self._lane_clients.append(None)
+        self._lane_names = lane_names
+        # A plain FIFO scheduler selects min-(ready, seq) — exactly the
+        # kernel-native arbitration — so hand the Resource None and let
+        # it use its O(log lanes) head heap instead of an O(lanes) scan
+        # per dispatch.  Identical decisions (the scheduler docstring
+        # pins the equivalence); only subclasses (chaos wrappers) keep
+        # the pluggable path.
+        scheduler = self._scheduler
+        if type(scheduler) is FifoScheduler:
+            scheduler = None
+        self._lane_run = LaneRun(lanes, scheduler,
+                                 self._machine.costs.gpu_context_switch,
+                                 kernel)
+        return self._lane_run
+
+    def admit_lane(self, lane: TenantLane,
+                   client: Optional[TenantClient] = None) -> int:
+        """Add a lane to a started run at the kernel's current time."""
+        if self._lane_run is None:
+            raise RuntimeError("admit_lane requires a started run")
+        name = lane.name or f"lane{len(self._lane_names)}"
+        if name in self._lane_names:
+            name = f"{name}#{len(self._lane_names)}"
+        lane.name = name
+        self._lane_names.append(name)
+        self._lane_clients.append(client)
+        return self._lane_run.add_lane(lane)
+
+    def receive_migration(self, name: str, requests: List[ServeRequest],
+                          session_epoch: int,
+                          quota: Optional[TenantQuota] = None,
+                          on_recover: Optional[Callable[[Any], None]] = None,
+                          ) -> TenantClient:
+        """Admit a drained-out session mid-run and start serving it.
+
+        The migration protocol's landing half: a fresh
+        :class:`TenantClient` at ``session_epoch`` (the source's epoch
+        plus one — requests served here are distinguishable from
+        pre-drain ones, which keeps the chaos layer's cleanse checks
+        meaningful across machines), the source's unexecuted requests
+        resubmitted in order, and a new lane whose stream runs the full
+        trust path — attestation, key exchange, ``on_recover``
+        re-provisioning — before serving.  Nothing but the request
+        ledger crosses machines: no keys, no device state, no memo
+        entries.
+        """
+        client = self.add_tenant(name, quota)
+        client.session_epoch = session_epoch
+        client.on_recover = on_recover
+        client.reprovision_on_start = True
+        for request in requests:
+            request.outcome = PENDING
+            request.retrying = False
+            client.queue.submit(request)
+            client.requests.append(request)
+        lane = TenantLane(units=self._unit_stream(client, self._crypto_eff),
+                          weight=client.record.quota.weight,
+                          max_inflight=client.record.quota.max_inflight,
+                          name=name)
+        self.admit_lane(lane, client)
+        obs_metrics.registry().counter("serve.migrations.received").inc()
+        return client
+
+    def finish(self) -> ServeReport:
+        """Assemble the report after the shared kernel has drained."""
+        if self._lane_run is None:
+            raise RuntimeError("finish requires a started run")
+        result = self._lane_run.finish()
+        self._lane_run = None
+        lane_names = self._lane_names
+        gpu_busy = sum(t.gpu_busy for t in result.timelines)
+        gpu_utilization = (gpu_busy / result.makespan
+                           if result.makespan > 0.0 else 0.0)
+        lane_events: Dict[str, List[TraceEvent]] = {
+            name: [] for name in lane_names}
+        for tenant, event in result.events:
+            lane_events[lane_names[tenant]].append(event)
+
+        tenants: List[TenantReport] = []
+        for index, client in enumerate(self._lane_clients):
+            timeline = result.timelines[index]
+            if client is not None:
+                tenants.append(build_tenant_report(
+                    client, lane_names[index], timeline,
+                    result.stall_seconds[index]))
+            else:
+                # Lite lane: no request ledger — the engine-visit
+                # accounting is the whole story.
+                tenants.append(TenantReport(
+                    name=lane_names[index],
+                    submitted=result.served[index] + result.timed_out[index],
+                    rejected_submits=0,
+                    served=result.served[index],
+                    timed_out=result.timed_out[index],
+                    denied=0, backpressured=0, failed=0,
+                    finish_time=timeline.finish_time,
+                    gpu_busy=timeline.gpu_busy,
+                    host_busy=timeline.host_busy,
+                    waits=timeline.waits,
+                    stall_seconds=result.stall_seconds[index],
+                    peak_memory=0, quota_denials=0))
+        report = ServeReport(
+            scheduler=self._scheduler.name,
+            makespan=result.makespan,
+            context_switches=result.context_switches,
+            gpu_utilization=gpu_utilization,
+            tenants=tenants,
+            lanes=lane_events,
+        )
+        self._publish_metrics(report)
+        return report
 
     def run(self, kernel: Optional[EventClock] = None) -> ServeReport:
         """Execute every queued request and return the serving report.
@@ -749,70 +964,10 @@ class ServeEngine:
         point.  A fresh kernel with no extra events is exactly the
         default, so an idle chaos harness is a true no-op.
         """
-        self._kernel = kernel if kernel is not None else EventClock()
-        self._scheduler.reset()
-        crypto_eff = self._resolve_crypto_efficiency()
-        # (Re)bind the memo to this run's timing configuration — any
-        # cost-model or session-config change invalidates cached splits.
-        self.memo.configure(self._memo_token(crypto_eff))
-
-        lane_names: List[str] = []
-        for index, client in enumerate(self._clients):
-            name = client.name
-            if name in lane_names:
-                name = f"{name}#{index}"
-            lane_names.append(name)
-
-        lanes = [TenantLane(units=self._unit_stream(client, crypto_eff),
-                            weight=client.record.quota.weight,
-                            max_inflight=client.record.quota.max_inflight,
-                            name=lane_names[index])
-                 for index, client in enumerate(self._clients)]
-        result = run_lanes(lanes, self._scheduler,
-                           self._machine.costs.gpu_context_switch,
-                           kernel=self._kernel)
-        gpu_busy = sum(t.gpu_busy for t in result.timelines)
-        gpu_utilization = (gpu_busy / result.makespan
-                           if result.makespan > 0.0 else 0.0)
-        lane_events: Dict[str, List[TraceEvent]] = {
-            name: [] for name in lane_names}
-        for tenant, event in result.events:
-            lane_events[lane_names[tenant]].append(event)
-
-        tenants: List[TenantReport] = []
-        for index, client in enumerate(self._clients):
-            counts = client.outcome_counts()
-            timeline = result.timelines[index]
-            tenants.append(TenantReport(
-                name=lane_names[index],
-                submitted=client.queue.counters.accepted,
-                rejected_submits=client.queue.counters.rejected,
-                served=counts.get(SERVED, 0),
-                timed_out=counts.get(TIMEOUT, 0),
-                denied=counts.get(DENIED, 0),
-                backpressured=counts.get(BACKPRESSURE, 0),
-                failed=counts.get(FAILED, 0),
-                finish_time=timeline.finish_time,
-                gpu_busy=timeline.gpu_busy,
-                host_busy=timeline.host_busy,
-                waits=timeline.waits,
-                stall_seconds=result.stall_seconds[index],
-                peak_memory=client.record.peak_memory,
-                quota_denials=client.record.quota_denials,
-                shed=counts.get(SHED, 0),
-                retries=sum(max(request.attempts - 1, 0)
-                            for request in client.requests),
-            ))
-        report = ServeReport(
-            scheduler=self._scheduler.name,
-            makespan=result.makespan,
-            context_switches=result.context_switches,
-            gpu_utilization=gpu_utilization,
-            tenants=tenants,
-            lanes=lane_events,
-        )
-        self._publish_metrics(report)
-        return report
+        kernel = kernel if kernel is not None else EventClock()
+        self.start(kernel)
+        kernel.run()
+        return self.finish()
 
     def _publish_metrics(self, report: ServeReport) -> None:
         """Mirror the run's report into the process metrics registry.
@@ -823,17 +978,7 @@ class ServeEngine:
         scheduling decisions.
         """
         registry = obs_metrics.registry()
-        outcome_counters = (
-            ("serve.requests_served", lambda t: t.served),
-            ("serve.requests_timed_out", lambda t: t.timed_out),
-            ("serve.requests_denied", lambda t: t.denied),
-            ("serve.requests_backpressured", lambda t: t.backpressured),
-            ("serve.requests_failed", lambda t: t.failed),
-            ("serve.requests_shed", lambda t: t.shed),
-            ("serve.retry.total", lambda t: t.retries),
-        )
-        for name, getter in outcome_counters:
-            total = sum(getter(t) for t in report.tenants)
+        for name, total in report_totals(report).items():
             if total:
                 registry.counter(name).inc(total)
         registry.counter("serve.ctx_switches").inc(report.context_switches)

@@ -28,6 +28,7 @@ DENIED = "denied"          # quota (AdmissionError) during execution
 BACKPRESSURE = "backpressure"  # channel queue overflow during execution
 FAILED = "failed"          # structured error reply from the GPU enclave
 SHED = "shed"              # dropped by the tenant's open circuit breaker
+MIGRATED = "migrated"      # handed to another machine by a fleet drain
 
 
 @dataclass

@@ -376,6 +376,13 @@ class Resource:
         #: before service starts — the lane layer's accounting hook.
         self._on_serve = on_serve
         self._queues: Dict[int, Deque[Visit]] = {}
+        #: Fleet-scale fast paths, both behaviour-preserving: a heap of
+        #: queue-*head* visits keyed ``(ready, seq)`` replaces the
+        #: O(lanes) candidate scan under native FIFO (stale entries are
+        #: lazily discarded), and the lazy-expiry sweep is skipped
+        #: entirely while no queued visit carries a deadline.
+        self._head_heap: List[Tuple[float, int, Visit]] = []
+        self._deadlines = 0
         self.free_at: float = 0
         self.resident: Optional[int] = None
         self.switches = 0
@@ -387,6 +394,9 @@ class Resource:
     def queue(self, lane: int) -> Deque[Visit]:
         return self._queues.setdefault(lane, deque())
 
+    def _push_head(self, visit: Visit) -> None:
+        heapq.heappush(self._head_heap, (visit.ready, visit.seq, visit))
+
     def submit(self, visit: Visit) -> None:
         """Enqueue at the current event; serve synchronously if free.
 
@@ -397,7 +407,12 @@ class Resource:
         """
         if visit.resume_seq is None:
             visit.resume_seq = self._kernel.allocate_seq()
-        self.queue(visit.tenant).append(visit)
+        queue = self.queue(visit.tenant)
+        queue.append(visit)
+        if visit.deadline is not None:
+            self._deadlines += 1
+        if self._scheduler is None and len(queue) == 1:
+            self._push_head(visit)
         if self.free_at <= self._kernel.now:
             self._dispatch()
 
@@ -422,28 +437,60 @@ class Resource:
         # never served, and their lane is notified now.  Same-time
         # resumes triggered by the expiry run before the engine is
         # re-arbitrated (PRIO_REDISPATCH), as the retired multiplexer
-        # drained its heap before dispatching.
+        # drained its heap before dispatching.  The sweep is skipped
+        # while no queued visit carries a deadline (the common case for
+        # fleet-scale lite lanes, where it would be O(lanes) per
+        # dispatch).
         expired = False
-        for queue in self._queues.values():
-            while (queue and queue[0].deadline is not None
-                   and now > queue[0].deadline):
-                visit = queue.popleft()
-                self.expiries += 1
-                self._expiry_counter.inc()
-                if visit.on_outcome is not None:
-                    visit.on_outcome("timeout")
-                if visit.on_expire is not None:
-                    visit.on_expire(now)
-                expired = True
+        if self._deadlines:
+            for queue in self._queues.values():
+                popped = False
+                while (queue and queue[0].deadline is not None
+                       and now > queue[0].deadline):
+                    visit = queue.popleft()
+                    self._deadlines -= 1
+                    popped = True
+                    self.expiries += 1
+                    self._expiry_counter.inc()
+                    if visit.on_outcome is not None:
+                        visit.on_outcome("timeout")
+                    if visit.on_expire is not None:
+                        visit.on_expire(now)
+                    expired = True
+                if popped and queue and self._scheduler is None:
+                    self._push_head(queue[0])
         if expired:
             self._kernel.schedule(now, self._dispatch,
                                   priority=PRIO_REDISPATCH)
             return
-        candidates = [q[0] for q in self._queues.values() if q]
-        if not candidates:
-            return
-        visit = self._select(candidates)
-        self._queues[visit.tenant].popleft()
+        if self._scheduler is None:
+            # Native FIFO: pop the min-(ready, seq) queue head straight
+            # off the head heap.  Entries whose visit is no longer its
+            # queue's head (served or expired since the push) are
+            # stale; drop them on sight.
+            heap = self._head_heap
+            visit = None
+            while heap:
+                head = heap[0][2]
+                queue = self._queues.get(head.tenant)
+                if queue and queue[0] is head:
+                    visit = head
+                    break
+                heapq.heappop(heap)
+            if visit is None:
+                return
+            heapq.heappop(heap)
+        else:
+            candidates = [q[0] for q in self._queues.values() if q]
+            if not candidates:
+                return
+            visit = self._select(candidates)
+        queue = self._queues[visit.tenant]
+        queue.popleft()
+        if visit.deadline is not None:
+            self._deadlines -= 1
+        if self._scheduler is None and queue:
+            self._push_head(queue[0])
 
         start = now
         switched = self.resident is not None and self.resident != visit.tenant
@@ -520,6 +567,9 @@ class TenantLane:
     weight: float = 1.0
     max_inflight: int = 1
     name: str = ""
+    #: Called with the kernel time at which the unit stream ran dry —
+    #: the fleet tier uses this to mark a machine session complete.
+    on_exhausted: Optional[Callable[[float], None]] = None
 
 
 @dataclass
@@ -567,54 +617,91 @@ class _LaneState:
         self.process: Optional[Process] = None
 
 
-def run_lanes(lanes: Sequence[TenantLane], scheduler,
-              ctx_switch_cost: float,
-              kernel: Optional[EventClock] = None) -> LaneResult:
-    """Run every lane to exhaustion over one shared engine.
+class LaneRun:
+    """An in-flight lane run over one shared engine and kernel.
 
-    This is the kernel-native core both public multiplexers wrap: each
-    lane becomes a real :class:`Process` pulling its unit stream in
-    virtual time (so a serving engine's streams execute sealed requests
-    at production time), all GPU visits arbitrate through one
-    :class:`Resource` under *scheduler*, and the accounting —
-    timelines, waits, stalls, context switches, per-lane trace events —
-    preserves the retired implementations' semantics.
+    :func:`run_lanes` is ``LaneRun(...)`` + ``kernel.run()`` +
+    :meth:`finish` — splitting the three steps is what lets several
+    independent engines (the fleet tier's machines) prepare their lanes
+    on ONE shared :class:`EventClock` and drain together, so their
+    virtual timelines interleave instead of running back to back.
+
+    Construction schedules every lane's t=0 wakeup but pops nothing;
+    the caller drains the kernel (once, however many LaneRuns share it)
+    and then reads each run's :meth:`finish`.  :meth:`add_lane` admits
+    a new lane mid-run at the kernel's current time — the fleet tier's
+    migration landing point.
     """
-    kernel = kernel if kernel is not None else EventClock()
-    states = [_LaneState(i, lane) for i, lane in enumerate(lanes)]
-    lane_events: List[Tuple[int, TraceEvent]] = []
-    lane_names = [lane.name or f"lane{index}"
-                  for index, lane in enumerate(lanes)]
 
-    def record(tenant: int, start: float, seconds: float,
-               category: str) -> None:
+    def __init__(self, lanes: Sequence[TenantLane], scheduler,
+                 ctx_switch_cost: float, kernel: EventClock) -> None:
+        self.kernel = kernel
+        self.ctx_switch_cost = ctx_switch_cost
+        self._states: List[_LaneState] = []
+        self._lane_events: List[Tuple[int, TraceEvent]] = []
+        self._lane_names: List[str] = []
+        self.engine = Resource(kernel, ctx_switch_cost, scheduler,
+                               on_serve=self._on_serve)
+        for lane in lanes:
+            self._admit(lane)
+        for state in self._states:  # t=0 wakeups in lane order
+            state.process.start(0.0)
+
+    # -- lane admission -----------------------------------------------------
+
+    def _admit(self, spec: TenantLane) -> _LaneState:
+        index = len(self._states)
+        state = _LaneState(index, spec)
+        self._states.append(state)
+        self._lane_names.append(spec.name or f"lane{index}")
+        state.process = Process(self.kernel, self._lane_process(state),
+                                name=self._lane_names[index])
+        return state
+
+    def add_lane(self, spec: TenantLane) -> int:
+        """Admit *spec* mid-run, starting at the kernel's current time.
+
+        Returns the new lane's index.  The lane's first wakeup is a
+        fresh kernel event at ``kernel.now``, so a lane added from
+        inside a running event begins producing after that event —
+        exactly where a migrated-in session resumes.
+        """
+        state = self._admit(spec)
+        state.process.start(self.kernel.now)
+        return state.index
+
+    # -- accounting hooks ---------------------------------------------------
+
+    def _record(self, tenant: int, start: float, seconds: float,
+                category: str) -> None:
         if seconds > 0.0:
-            lane_events.append((tenant, TraceEvent(start, seconds, category)))
-            kernel.charge(start, seconds, category)
+            self._lane_events.append(
+                (tenant, TraceEvent(start, seconds, category)))
+            self.kernel.charge(start, seconds, category)
             tracer = _OBS.tracer
             if tracer is not None:
                 # Tenant-attributed schedule events: these are what the
                 # Chrome exporter turns into per-tenant lane tracks.
                 tracer.event(category, category, start, seconds,
-                             tenant=lane_names[tenant], lane=True)
+                             tenant=self._lane_names[tenant], lane=True)
 
-    def on_serve(visit: Visit, dispatch_at: float, switched: bool) -> None:
-        state = states[visit.tenant]
+    def _on_serve(self, visit: Visit, dispatch_at: float,
+                  switched: bool) -> None:
+        state = self._states[visit.tenant]
         state.timeline.waits += dispatch_at - visit.ready
         start = dispatch_at
         if switched:
-            record(visit.tenant, start, ctx_switch_cost, "ctx_switch")
-            start += ctx_switch_cost
+            self._record(visit.tenant, start, self.ctx_switch_cost,
+                         "ctx_switch")
+            start += self.ctx_switch_cost
         finish = start + visit.gpu_seconds
         state.timeline.gpu_busy += visit.gpu_seconds
         state.timeline.finish_time = max(state.timeline.finish_time, finish)
-        record(visit.tenant, start, visit.gpu_seconds, "gpu")
+        self._record(visit.tenant, start, visit.gpu_seconds, "gpu")
         state.served += 1
 
-    engine = Resource(kernel, ctx_switch_cost, scheduler, on_serve=on_serve)
-
-    def release_slot(state: _LaneState, now: float, outcome: str,
-                     event: Optional[Event] = None) -> None:
+    def _release_slot(self, state: _LaneState, now: float, outcome: str,
+                      event: Optional[Event] = None) -> None:
         # The stall interval is handed to the resumed produce and only
         # charged once it actually yields another unit: trailing blocks
         # after an exhausted stream delayed nothing.
@@ -630,16 +717,19 @@ def run_lanes(lanes: Sequence[TenantLane], scheduler,
                 state.process.resume_at(max(state.host_free, now),
                                         (outcome, stall))
 
-    def on_complete(event: Event, state: _LaneState) -> None:
-        release_slot(state, event.time, "served", event)
+    def _on_complete(self, event: Event, state: _LaneState) -> None:
+        self._release_slot(state, event.time, "served", event)
 
-    def on_expire(now: float, state: _LaneState) -> None:
+    def _on_expire(self, now: float, state: _LaneState) -> None:
         state.timed_out += 1
-        release_slot(state, now, "timeout")
+        self._release_slot(state, now, "timeout")
 
-    def lane_process(state: _LaneState
-                     ) -> Generator[Union[Wait, Acquire, _Block],
-                                    object, None]:
+    # -- lane production ----------------------------------------------------
+
+    def _lane_process(self, state: _LaneState
+                      ) -> Generator[Union[Wait, Acquire, _Block],
+                                     object, None]:
+        kernel = self.kernel
         spec = state.spec
         units = iter(spec.units)
         pending_stall: Optional[float] = None
@@ -660,13 +750,13 @@ def run_lanes(lanes: Sequence[TenantLane], scheduler,
                 state.timeline.finish_time = max(
                     state.timeline.finish_time, done)
                 state.host_free = done
-                record(state.index, now, unit.host_seconds, "backoff")
+                self._record(state.index, now, unit.host_seconds, "backoff")
                 yield Wait(unit.host_seconds)
                 continue
             state.timeline.host_busy += unit.host_seconds
             state.timeline.finish_time = max(state.timeline.finish_time, done)
             state.host_free = done
-            record(state.index, now, unit.host_seconds, "host")
+            self._record(state.index, now, unit.host_seconds, "host")
             if unit.gpu_seconds is None:
                 yield Wait(unit.host_seconds)
                 continue
@@ -680,10 +770,10 @@ def run_lanes(lanes: Sequence[TenantLane], scheduler,
                 deadline=(None if unit.deadline is None
                           else done + unit.deadline),
                 label=unit.label, on_outcome=unit.on_outcome)
-            visit.on_complete = lambda ev, s=state: on_complete(ev, s)
-            visit.on_expire = lambda at, s=state: on_expire(at, s)
+            visit.on_complete = lambda ev, s=state: self._on_complete(ev, s)
+            visit.on_expire = lambda at, s=state: self._on_expire(at, s)
             state.outstanding += 1
-            engine.submit(visit)
+            self.engine.submit(visit)
             if state.outstanding < spec.max_inflight:
                 yield Wait(0.0)
             else:
@@ -693,21 +783,40 @@ def run_lanes(lanes: Sequence[TenantLane], scheduler,
                 pending_stall = resumed[1]
         state.timeline.finish_time = max(state.timeline.finish_time,
                                          kernel.now)
+        if spec.on_exhausted is not None:
+            spec.on_exhausted(kernel.now)
 
-    for index, state in enumerate(states):
-        state.process = Process(kernel, lane_process(state),
-                                name=state.spec.name or f"lane{index}")
-    for state in states:  # t=0 wakeups in lane order (oracle user order)
-        state.process.start(0.0)
+    # -- results ------------------------------------------------------------
 
+    def finish(self) -> LaneResult:
+        """Assemble the result after the shared kernel has drained."""
+        states = self._states
+        makespan = max((s.timeline.finish_time for s in states), default=0.0)
+        return LaneResult(
+            makespan=makespan,
+            timelines=[s.timeline for s in states],
+            context_switches=self.engine.switches,
+            served=[s.served for s in states],
+            timed_out=[s.timed_out for s in states],
+            stall_seconds=[s.stall for s in states],
+            events=self._lane_events,
+            processes=[s.process for s in states])
+
+
+def run_lanes(lanes: Sequence[TenantLane], scheduler,
+              ctx_switch_cost: float,
+              kernel: Optional[EventClock] = None) -> LaneResult:
+    """Run every lane to exhaustion over one shared engine.
+
+    This is the kernel-native core both public multiplexers wrap: each
+    lane becomes a real :class:`Process` pulling its unit stream in
+    virtual time (so a serving engine's streams execute sealed requests
+    at production time), all GPU visits arbitrate through one
+    :class:`Resource` under *scheduler*, and the accounting —
+    timelines, waits, stalls, context switches, per-lane trace events —
+    preserves the retired implementations' semantics.
+    """
+    kernel = kernel if kernel is not None else EventClock()
+    run = LaneRun(lanes, scheduler, ctx_switch_cost, kernel)
     kernel.run()
-    makespan = max((s.timeline.finish_time for s in states), default=0.0)
-    return LaneResult(
-        makespan=makespan,
-        timelines=[s.timeline for s in states],
-        context_switches=engine.switches,
-        served=[s.served for s in states],
-        timed_out=[s.timed_out for s in states],
-        stall_seconds=[s.stall for s in states],
-        events=lane_events,
-        processes=[s.process for s in states])
+    return run.finish()

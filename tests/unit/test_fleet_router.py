@@ -1,0 +1,165 @@
+"""Unit tests for the fleet router: policies, health, rejections."""
+
+import pytest
+
+from repro.errors import AdmissionError, PlacementError
+from repro.fleet.router import (
+    POLICY_NAMES,
+    LeastLoadedPolicy,
+    MachineStatus,
+    MemoryFitPolicy,
+    QuotaPressurePolicy,
+    Router,
+    SessionSpec,
+    WeightedHashPolicy,
+    make_policy,
+)
+from repro.serve.resilience import KIND_CIRCUIT_OPEN, KIND_QUOTA
+
+MB = 1 << 20
+
+
+def status(index, **kwargs):
+    defaults = dict(index=index, name=f"m{index}", sessions=0, capacity=4)
+    defaults.update(kwargs)
+    return MachineStatus(**defaults)
+
+
+class TestPolicies:
+    def test_least_loaded_picks_lowest_pending(self):
+        statuses = [status(0, pending_seconds=3.0),
+                    status(1, pending_seconds=1.0),
+                    status(2, pending_seconds=2.0)]
+        chosen = LeastLoadedPolicy().select(SessionSpec("s"), statuses)
+        assert chosen.index == 1
+
+    def test_least_loaded_ties_break_by_sessions_then_index(self):
+        statuses = [status(0, sessions=2), status(1, sessions=1),
+                    status(2, sessions=1)]
+        assert LeastLoadedPolicy().select(
+            SessionSpec("s"), statuses).index == 1
+        even = [status(0), status(1), status(2)]
+        assert LeastLoadedPolicy().select(SessionSpec("s"), even).index == 0
+
+    def test_quota_pressure_uses_occupancy_fraction(self):
+        # m0 has more sessions but far more capacity: lower pressure.
+        statuses = [status(0, sessions=2, capacity=16),
+                    status(1, sessions=1, capacity=2)]
+        chosen = QuotaPressurePolicy().select(SessionSpec("s"), statuses)
+        assert chosen.index == 0
+
+    def test_memory_fit_best_fit_and_none(self):
+        statuses = [status(0, memory_budget=64 * MB),
+                    status(1, memory_budget=16 * MB),
+                    status(2, memory_budget=8 * MB)]
+        spec = SessionSpec("s", memory_bytes=12 * MB)
+        # Tightest slot that still fits is m1, not the roomiest m0.
+        assert MemoryFitPolicy().select(spec, statuses).index == 1
+        too_big = SessionSpec("s", memory_bytes=100 * MB)
+        assert MemoryFitPolicy().select(too_big, statuses) is None
+
+    def test_weighted_hash_is_sticky_and_spreads(self):
+        policy = WeightedHashPolicy()
+        statuses = [status(index) for index in range(4)]
+        picks = {}
+        for n in range(64):
+            spec = SessionSpec(f"session-{n}")
+            first = policy.select(spec, statuses).index
+            assert policy.select(spec, statuses).index == first
+            picks.setdefault(first, 0)
+            picks[first] += 1
+        # All machines own a share of the keyspace.
+        assert set(picks) == {0, 1, 2, 3}
+
+    def test_weighted_hash_sticky_under_fleet_growth(self):
+        """Rendezvous property: adding machines never reshuffles a
+        session between the machines that already existed."""
+        policy = WeightedHashPolicy()
+        small = [status(index) for index in range(2)]
+        large = small + [status(2), status(3)]
+        for n in range(32):
+            spec = SessionSpec(f"grow-{n}")
+            before = policy.select(spec, small).index
+            after = policy.select(spec, large).index
+            assert after == before or after in (2, 3)
+
+    def test_weight_shifts_keyspace_share(self):
+        policy = WeightedHashPolicy()
+        statuses = [status(0, weight=8.0), status(1, weight=1.0)]
+        heavy = sum(
+            policy.select(SessionSpec(f"w-{n}"), statuses).index == 0
+            for n in range(128))
+        assert heavy > 64  # 8x weight owns well over half
+
+    def test_make_policy_catalog(self):
+        assert set(POLICY_NAMES) == {"least-loaded", "memory-fit",
+                                     "quota-pressure", "weighted-hash"}
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            make_policy("nope")
+
+
+class TestRouter:
+    def test_places_and_records(self):
+        router = Router("least-loaded")
+        statuses = [status(0, pending_seconds=1.0), status(1)]
+        index = router.place(SessionSpec("alice"), statuses)
+        assert index == 1
+        assert router.machine_of("alice") == 1
+        router.forget("alice")
+        assert router.machine_of("alice") is None
+
+    def test_duplicate_name_rejected(self):
+        router = Router()
+        router.place(SessionSpec("alice"), [status(0)])
+        with pytest.raises(PlacementError, match="already placed"):
+            router.place(SessionSpec("alice"), [status(0)])
+
+    def test_unhealthy_and_draining_filtered(self):
+        router = Router()
+        statuses = [status(0, healthy=False), status(1, draining=True),
+                    status(2)]
+        assert router.place(SessionSpec("s"), statuses) == 2
+
+    def test_no_healthy_machine_is_circuit_open(self):
+        router = Router()
+        statuses = [status(0, healthy=False, drain_seconds=0.5),
+                    status(1, draining=True, drain_seconds=0.2)]
+        with pytest.raises(PlacementError) as excinfo:
+            router.place(SessionSpec("s"), statuses)
+        assert excinfo.value.error_kind == KIND_CIRCUIT_OPEN
+        assert excinfo.value.retry_after == pytest.approx(0.2)
+
+    def test_capacity_exhausted_is_quota_with_retry_after(self):
+        router = Router()
+        statuses = [status(0, sessions=4, capacity=4, drain_seconds=0.8),
+                    status(1, sessions=2, capacity=2, drain_seconds=0.3)]
+        with pytest.raises(PlacementError) as excinfo:
+            router.place(SessionSpec("s"), statuses)
+        assert excinfo.value.error_kind == KIND_QUOTA
+        # The hint is the fleet-wide minimum queue-drain estimate.
+        assert excinfo.value.retry_after == pytest.approx(0.3)
+
+    def test_lite_sessions_skip_capacity_check(self):
+        router = Router()
+        statuses = [status(0, sessions=4, capacity=4)]
+        index = router.place(SessionSpec("lite0", lite=True), statuses)
+        assert index == 0
+
+    def test_memory_fit_miss_is_quota(self):
+        router = Router("memory-fit")
+        statuses = [status(0, memory_budget=8 * MB)]
+        with pytest.raises(PlacementError) as excinfo:
+            router.place(SessionSpec("big", memory_bytes=64 * MB),
+                         statuses)
+        assert excinfo.value.error_kind == KIND_QUOTA
+
+    def test_placement_error_is_admission_error(self):
+        """Structured rejection: callers catching the serve layer's
+        AdmissionError taxonomy see fleet rejections too."""
+        assert issubclass(PlacementError, AdmissionError)
+        error = PlacementError("full", retry_after=1.5,
+                               error_kind=KIND_QUOTA)
+        assert error.retry_after == 1.5
+        assert error.error_kind == KIND_QUOTA

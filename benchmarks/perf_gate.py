@@ -48,6 +48,7 @@ BENCH_FILES = [
     Path(__file__).resolve().parent / "bench_engine.py",
     Path(__file__).resolve().parent / "bench_obs.py",
     Path(__file__).resolve().parent / "bench_fleet.py",
+    Path(__file__).resolve().parent / "bench_backends.py",
 ]
 BASELINE_FILE = (Path(__file__).resolve().parent
                  / "baselines" / "simulator_perf.json")

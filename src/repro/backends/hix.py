@@ -1,0 +1,41 @@
+"""The HIX-SGX backend: the paper's design, behind the backend contract.
+
+This is a pure selector over the existing HIX stack — the GPU-enclave
+service (:mod:`repro.core.gpu_enclave`), the user runtime
+(:mod:`repro.core.runtime`) and the machine plumbing in
+:mod:`repro.system` are untouched, so a machine configured with
+``backend="hix"`` is bit-identical in simulated time to the
+pre-refactor code path.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import DEFAULT_REGION_SIZE, TeeBackend, register
+
+
+class HixBackend(TeeBackend):
+    """SGX GPU enclave + OCB-DMA windows + in-GPU crypto kernels."""
+
+    name = "hix"
+    attestation = ("SGX local report chain + GPU BIOS measurement at "
+                   "enclave init")
+    sealed_path = "OCB-DMA window remapping + in-GPU AEAD kernels"
+    mmio_lockdown = True
+    termination_protection = True
+
+    def boot(self, machine, region_size: int = DEFAULT_REGION_SIZE,
+             device=None):
+        return machine.boot_hix(region_size=region_size, device=device)
+
+    def create_session(self, machine, service, name: str = "app",
+                       check_identity: bool = True,
+                       channel_queue_depth=None):
+        return machine.hix_session(service, name=name,
+                                   check_identity=check_identity,
+                                   channel_queue_depth=channel_queue_depth)
+
+    def rpc_round_trip(self, costs) -> float:
+        return costs.rpc_round_trip()
+
+
+BACKEND = register(HixBackend())

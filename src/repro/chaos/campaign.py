@@ -23,7 +23,7 @@ with the same seed render byte-identical reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.abuse import ABUSE_KINDS, AbusePlan
@@ -78,6 +78,8 @@ class Campaign:
     #: Abuse streams to run alongside, by kind (see ABUSE_KINDS).
     abuse: Tuple[str, ...] = ()
     scheduler: str = "fair"
+    #: TEE backend both runs boot (see :mod:`repro.backends`).
+    backend: str = "hix"
     #: Victim finish-time slowdown bound versus the faultless baseline.
     fairness_bound: float = 4.0
     #: Minimum victim served/submitted ratio under chaos.
@@ -112,6 +114,7 @@ class CampaignResult:
     fairness_bound: float
     goodput_floor: float
     abuse_plans: List[AbusePlan] = field(default_factory=list)
+    backend: str = "hix"
 
     @property
     def security_ok(self) -> bool:
@@ -129,7 +132,8 @@ class CampaignResult:
         return sorted({fault.kind for fault in self.faults if fault.fired})
 
     def render(self) -> str:
-        lines = [f"chaos campaign '{self.campaign}' (seed={self.seed})"]
+        lines = [f"chaos campaign '{self.campaign}' "
+                 f"(seed={self.seed}, backend={self.backend})"]
         lines.append(f"  faults injected: {len([f for f in self.faults if f.fired])}"
                      f"/{len(self.faults)}"
                      f" ({', '.join(self.fault_kinds_fired()) or 'none'})")
@@ -186,7 +190,8 @@ def _abuse_quota(kind: str) -> TenantQuota:
 def _build_engine(campaign: Campaign, seed: int,
                   with_abuse: bool) -> Tuple[ServeEngine, List[VictimPlan],
                                              List[AbusePlan]]:
-    machine = Machine(MachineConfig(data_inflation=campaign.data_inflation))
+    machine = Machine(MachineConfig(data_inflation=campaign.data_inflation,
+                                    backend=campaign.backend))
     engine = ServeEngine(machine, scheduler=campaign.scheduler,
                          max_tenants=campaign.victims + len(campaign.abuse),
                          retry_policy=campaign.retry_policy,
@@ -283,7 +288,8 @@ def run_campaign_obj(campaign: Campaign, seed: int = 0) -> CampaignResult:
                           baseline=baseline, chaos=chaos,
                           fairness_bound=campaign.fairness_bound,
                           goodput_floor=campaign.goodput_floor,
-                          abuse_plans=abuse_plans)
+                          abuse_plans=abuse_plans,
+                          backend=campaign.backend)
 
 
 # ---------------------------------------------------------------------------
@@ -384,14 +390,20 @@ def campaign_catalog() -> Dict[str, str]:
     return catalog
 
 
-def run_campaign(name: str, seed: int = 0) -> CampaignResult:
+def run_campaign(name: str, seed: int = 0,
+                 backend: Optional[str] = None) -> CampaignResult:
     """Run the named campaign; the CLI entry point's whole backend.
 
     Dispatches bespoke campaigns (the fleet-migration one drives a
     :class:`~repro.fleet.Fleet`, not a single engine) before the
-    :class:`Campaign`-dataclass flow.
+    :class:`Campaign`-dataclass flow.  *backend*, when given, overrides
+    the campaign's configured TEE backend — every campaign must hold
+    its two-sided verdict under every backend.
     """
     from repro.chaos.fleet import FLEET_CAMPAIGN, run_fleet_campaign
     if name == FLEET_CAMPAIGN:
-        return run_fleet_campaign(seed)
-    return run_campaign_obj(get_campaign(name), seed)
+        return run_fleet_campaign(seed, backend=backend or "hix")
+    campaign = get_campaign(name)
+    if backend is not None and backend != campaign.backend:
+        campaign = replace(campaign, backend=backend)
+    return run_campaign_obj(campaign, seed)

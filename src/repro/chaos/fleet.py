@@ -78,12 +78,18 @@ MIGRATE_AT = 20.5e-3
 RESET_AT = 21.5e-3
 FAIRNESS_BOUND = 6.0
 GOODPUT_FLOOR = 0.85
+#: GPU-CC session establishment (cert-chain verification + the report
+#: round trip) runs longer than HIX's, so the whole live window lands
+#: later; every scripted time shifts by the same offset to stay inside
+#: the live-session window under that backend.
+BACKEND_SHIFT = {"hix": 0.0, "gpucc": 6.9e-3}
 
 
-def _build_fleet(seed: int) -> Tuple[Fleet, List[VictimPlan]]:
+def _build_fleet(seed: int,
+                 backend: str = "hix") -> Tuple[Fleet, List[VictimPlan]]:
     fleet = Fleet(machines=2, scheduler="fair", policy="least-loaded",
                   machine_config=MachineConfig(
-                      data_inflation=DATA_INFLATION),
+                      data_inflation=DATA_INFLATION, backend=backend),
                   max_tenants=VICTIMS,
                   # The source-machine victim that stays behind rides
                   # out TWO recovery cycles (DMA trap, then the GPU
@@ -109,8 +115,8 @@ def _build_fleet(seed: int) -> Tuple[Fleet, List[VictimPlan]]:
     return fleet, plans
 
 
-def _fault_script(fleet: Fleet,
-                  migrating: str) -> List[List[Fault]]:
+def _fault_script(fleet: Fleet, migrating: str,
+                  shift: float = 0.0) -> List[List[Fault]]:
     """Per-machine fault lists targeting non-migrating victims.
 
     The migrating victim is mid-drain when the faults land, so the
@@ -132,11 +138,11 @@ def _fault_script(fleet: Fleet,
     stay_target = by_machine[target][0]
     script: List[List[Fault]] = [[], []]
     script[source] = [
-        DmaRedirectFault(at=TRAP_SOURCE_AT, tenant=stay_source),
-        GpuResetFault(at=RESET_AT),
+        DmaRedirectFault(at=TRAP_SOURCE_AT + shift, tenant=stay_source),
+        GpuResetFault(at=RESET_AT + shift),
     ]
     script[target] = [
-        DmaRedirectFault(at=TRAP_TARGET_AT, tenant=stay_target),
+        DmaRedirectFault(at=TRAP_TARGET_AT + shift, tenant=stay_target),
     ]
     return script
 
@@ -158,21 +164,23 @@ def _victim_finishes(report: FleetReport) -> Dict[str, float]:
     return finishes
 
 
-def run_fleet_campaign(seed: int = 0) -> CampaignResult:
+def run_fleet_campaign(seed: int = 0,
+                       backend: str = "hix") -> CampaignResult:
     """Execute the fleet-migration campaign; same verdict shape as
     :func:`~repro.chaos.campaign.run_campaign_obj`."""
     obs_metrics.registry().counter("chaos.campaigns_run").inc()
 
-    baseline_fleet, _ = _build_fleet(seed)
+    baseline_fleet, _ = _build_fleet(seed, backend)
     baseline = baseline_fleet.run()
 
-    fleet, plans = _build_fleet(seed)
+    fleet, plans = _build_fleet(seed, backend)
     migrating = "victim0"
     source = fleet.router.machine_of(migrating)
     assert source is not None
-    fleet.plan_migration(migrating, target=1 - source, at=MIGRATE_AT)
+    shift = BACKEND_SHIFT.get(backend, 0.0)
+    fleet.plan_migration(migrating, target=1 - source, at=MIGRATE_AT + shift)
 
-    script = _fault_script(fleet, migrating)
+    script = _fault_script(fleet, migrating, shift)
     injectors = [FaultInjector(faults) for faults in script]
     kernel = EventClock()
     for machine, injector in zip(fleet.machines, injectors):
@@ -232,4 +240,5 @@ def run_fleet_campaign(seed: int = 0) -> CampaignResult:
         security=security, fairness=fairness,
         baseline=baseline.merged, chaos=chaos.merged,
         fairness_bound=FAIRNESS_BOUND,
-        goodput_floor=GOODPUT_FLOOR)
+        goodput_floor=GOODPUT_FLOOR,
+        backend=backend)

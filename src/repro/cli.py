@@ -8,6 +8,7 @@ Gives downstream users one entry point to every experiment::
     python -m repro ablations              # design-choice ablations
     python -m repro run pathfinder --mode hix   # one workload, w/ breakdown
     python -m repro serve --users 4        # multi-tenant serving demo
+    python -m repro backends compare       # HIX vs GPU-CC, side by side
     python -m repro chaos --campaign churn-reset  # fault-injection campaign
     python -m repro trace serve --users 2  # export a Perfetto profile
     python -m repro metrics                # metrics registry snapshot
@@ -71,9 +72,30 @@ def cmd_attacks(args) -> int:
         render_attack_matrix,
         run_attack_matrix,
     )
-    results = run_attack_matrix()
-    print(render_attack_matrix(results))
-    return 0 if all(r.defended for r in results) else 1
+    backends = ["hix", "gpucc"] if args.backend == "all" else [args.backend]
+    ok = True
+    for index, backend in enumerate(backends):
+        if index:
+            print()
+        results = run_attack_matrix(backend)
+        print(render_attack_matrix(results))
+        ok = ok and all(r.defended for r in results)
+    return 0 if ok else 1
+
+
+def cmd_backends(args) -> int:
+    """Compare the TEE backends: timing, serving curve, attack matrix."""
+    from repro.evalkit.backends import compare_backends
+    workload = _workload_by_name(args.workload)
+    users = sorted({int(n) for n in args.users.split(",") if n})
+    comparison = compare_backends(workload, users=users,
+                                  inflation=args.inflation,
+                                  with_serve=not args.no_serve,
+                                  with_attacks=not args.no_attacks)
+    print(comparison.render())
+    if comparison.attacks and not comparison.all_defended:
+        return 1
+    return 0
 
 
 def cmd_ablations(args) -> int:
@@ -125,13 +147,14 @@ def cmd_serve(args) -> int:
     )
     workload = _workload_by_name(args.workload)
     report = serve_run(workload, args.users, scheduler=args.scheduler,
-                       inflation=args.inflation)
+                       inflation=args.inflation, backend=args.backend)
     print(report.render())
     if args.users > 1:
         print()
         users = sorted({1, max(args.users // 2, 1), args.users})
         print(serve_figure(workload, users=users, scheduler=args.scheduler,
-                           inflation=args.inflation).render())
+                           inflation=args.inflation,
+                           backend=args.backend).render())
         print()
         print(fair_crosscheck(workload, args.users).render())
     return 0
@@ -145,7 +168,8 @@ def cmd_fleet(args) -> int:
     from repro.serve.jobs import submit_workload
     from repro.system import MachineConfig
     workload = _workload_by_name(args.workload)
-    config = MachineConfig(data_inflation=args.inflation)
+    config = MachineConfig(data_inflation=args.inflation,
+                           backend=args.backend)
     fleet = Fleet(machines=args.machines, scheduler=args.scheduler,
                   policy=args.policy, machine_config=config,
                   max_tenants=max(args.users, 1),
@@ -153,7 +177,8 @@ def cmd_fleet(args) -> int:
     costs = fleet.machines[0].machine.costs
     for index in range(args.users):
         client = fleet.add_session(f"user{index}")
-        submit_workload(client, workload, args.inflation, costs, seed=index)
+        submit_workload(client, workload, args.inflation, costs, seed=index,
+                        backend=args.backend)
     if args.lite:
         profile = LiteProfile.from_workload(workload, costs)
         if args.lite_max_units:
@@ -275,7 +300,8 @@ def cmd_chaos(args) -> int:
         for name in sorted(catalog):
             print(f"  {name:<16} {catalog[name]}")
         return 0
-    result = run_campaign(args.campaign, seed=args.seed)
+    result = run_campaign(args.campaign, seed=args.seed,
+                          backend=args.backend)
     print(result.render())
     return 0 if result.ok else 1
 
@@ -308,9 +334,29 @@ def build_parser() -> argparse.ArgumentParser:
                          default=DEFAULT_INFLATION)
     figures.set_defaults(fn=cmd_figures)
 
-    sub.add_parser("attacks",
-                   help="execute the Section 5.5 attack matrix"
-                   ).set_defaults(fn=cmd_attacks)
+    attacks = sub.add_parser("attacks",
+                             help="execute the Section 5.5 attack matrix")
+    attacks.add_argument("--backend", choices=["hix", "gpucc", "all"],
+                         default="hix",
+                         help="TEE backend to run the secure leg on "
+                         "('all' runs the matrix once per backend)")
+    attacks.set_defaults(fn=cmd_attacks)
+
+    backends = sub.add_parser(
+        "backends", help="compare the TEE backends (HIX vs GPU-CC): "
+        "single-user timing, sealed-path serving curve, attack verdicts")
+    backends.add_argument("action", choices=["compare"])
+    backends.add_argument("--workload", default="backprop")
+    backends.add_argument("--users", default="1,2,4",
+                          help="comma-separated tenant counts for the "
+                          "serving sweep")
+    backends.add_argument("--inflation", type=float,
+                          default=DEFAULT_INFLATION)
+    backends.add_argument("--no-serve", action="store_true",
+                          help="skip the multi-tenant serving sweep")
+    backends.add_argument("--no-attacks", action="store_true",
+                          help="skip the attack matrices")
+    backends.set_defaults(fn=cmd_backends)
 
     ablations = sub.add_parser("ablations", help="design-choice ablations")
     ablations.add_argument("--inflation", type=float,
@@ -319,7 +365,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one workload")
     run.add_argument("workload")
-    run.add_argument("--mode", choices=["gdev", "hix"], default="hix")
+    run.add_argument("--mode", choices=["gdev", "hix", "gpucc"],
+                     default="hix")
     run.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
     run.set_defaults(fn=cmd_run)
 
@@ -332,6 +379,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fifo", "round-robin", "fair"],
                        default="fair")
     serve.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
+    serve.add_argument("--backend", choices=["hix", "gpucc"], default="hix",
+                       help="TEE backend the machine boots")
     serve.set_defaults(fn=cmd_serve)
 
     # Light module (dataclasses + zlib only) — safe to import eagerly
@@ -350,6 +399,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fifo", "round-robin", "fair"],
                        default="fair")
     fleet.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
+    fleet.add_argument("--backend", choices=["hix", "gpucc"], default="hix",
+                       help="TEE backend every fleet machine boots")
     fleet.add_argument("--lite", type=int, default=0, metavar="N",
                        help="additionally admit N lite (analytic-profile) "
                        "sessions")
@@ -374,7 +425,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="'demo': one single-user run; 'serve': a "
                        "multi-tenant serving run with per-tenant tracks")
     trace.add_argument("--workload", default="backprop")
-    trace.add_argument("--mode", choices=["gdev", "hix"], default="hix")
+    trace.add_argument("--mode", choices=["gdev", "hix", "gpucc"],
+                       default="hix")
     trace.add_argument("--users", type=int, default=2)
     trace.add_argument("--scheduler",
                        choices=["fifo", "round-robin", "fair"],
@@ -387,7 +439,8 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = sub.add_parser(
         "metrics", help="run one workload and print the metrics registry")
     metrics.add_argument("--workload", default="backprop")
-    metrics.add_argument("--mode", choices=["gdev", "hix"], default="hix")
+    metrics.add_argument("--mode", choices=["gdev", "hix", "gpucc"],
+                         default="hix")
     metrics.add_argument("--inflation", type=float,
                          default=DEFAULT_INFLATION)
     metrics.add_argument("--json", action="store_true",
@@ -401,6 +454,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--campaign", default="churn-reset",
                        help="campaign name (see --list)")
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--backend", choices=["hix", "gpucc"], default=None,
+                       help="override the campaign's TEE backend")
     chaos.add_argument("--list", action="store_true",
                        help="list known campaigns and exit")
     chaos.set_defaults(fn=cmd_chaos)

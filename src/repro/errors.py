@@ -104,7 +104,25 @@ class ReplayError(CryptoError):
 
 
 class AttestationError(CryptoError):
-    """Local/remote attestation report failed verification."""
+    """Attestation evidence failed verification.
+
+    Carries a structured ``error_kind`` so the serve resilience layer
+    classifies backend boot/attest failures uniformly across TEE
+    backends (HIX enclave measurement vs GPU-CC device certificates).
+    """
+
+    error_kind = "attestation_mismatch"
+
+
+class CertChainError(AttestationError):
+    """A device certificate chain did not verify back to the vendor root.
+
+    GPU-CC attestation trusts a per-device key fused at manufacture and
+    endorsed by the vendor CA; an emulated device can at best present a
+    self-signed forgery, which fails here.
+    """
+
+    error_kind = "cert_chain_invalid"
 
 
 # ---------------------------------------------------------------------------

@@ -30,7 +30,8 @@ DEFAULT_INFLATION = 256.0
 
 GDEV = "gdev"
 HIX = "hix"
-MODES = (GDEV, HIX)
+GPUCC = "gpucc"
+MODES = (GDEV, HIX, GPUCC)
 
 
 @dataclass
@@ -91,9 +92,12 @@ def run_single(workload: Workload, mode: str,
     if mode == GDEV:
         driver = machine.make_gdev()
         api = machine.gdev_session(driver, name=workload.name)
-    else:
+    elif mode == HIX:
         service = machine.boot_hix()
         api = machine.hix_session(service, name=workload.name)
+    else:
+        service = machine.boot_gpucc()
+        api = machine.gpucc_session(service, name=workload.name)
 
     counting = _CountingApi(api)
     snap = machine.clock.snapshot()
@@ -140,12 +144,16 @@ def _compute_segments(workload: Workload, costs: CostModel, mode: str,
 
 
 def _crypto_kernel_segments(nbytes: float, costs: CostModel,
+                            mode: str = HIX,
                             max_segments: int = 24) -> List[Segment]:
-    """In-GPU crypto kernels for a bulk transfer, chunk by chunk.
+    """Device-side crypto for a bulk transfer, chunk by chunk.
 
-    Effective throughput is derated by ``gpu_aead_multiuser_efficiency``:
-    per-chunk crypto batches are too small to fill the SMs when several
-    contexts interleave (Section 5.4).
+    HIX runs AEAD as SM kernels whose throughput is derated by
+    ``gpu_aead_multiuser_efficiency``: per-chunk crypto batches are too
+    small to fill the SMs when several contexts interleave (Section
+    5.4).  GPU-CC runs the same work on the dedicated on-die engine —
+    lower per-chunk latency and a milder multi-user derate, since the
+    engine does not compete with compute kernels for SMs.
     """
     if nbytes <= 0:
         return []
@@ -153,13 +161,19 @@ def _crypto_kernel_segments(nbytes: float, costs: CostModel,
     chunks = max(int(-(-nbytes // chunk)), 1)
     groups = min(chunks, max_segments)
     per_group_bytes = nbytes / groups
-    bandwidth = (costs.gpu_aead_bandwidth
-                 * costs.gpu_aead_multiuser_efficiency)
+    if mode == GPUCC:
+        per_chunk_latency = costs.gpucc_engine_latency
+        bandwidth = (costs.gpucc_engine_bandwidth
+                     * costs.aead_multiuser_efficiency(GPUCC))
+    else:
+        per_chunk_latency = costs.gpu_aead_kernel_latency
+        bandwidth = (costs.gpu_aead_bandwidth
+                     * costs.aead_multiuser_efficiency(HIX))
     segments = []
     for _ in range(groups):
         segments.append(Segment(
             "gpu",
-            (chunks / groups) * costs.gpu_aead_kernel_latency
+            (chunks / groups) * per_chunk_latency
             + per_group_bytes / bandwidth,
             "crypto"))
     return segments
@@ -178,6 +192,23 @@ def user_segments(workload: Workload, costs: CostModel,
         segments.extend(_compute_segments(workload, costs, mode))
         segments.append(Segment("host", costs.d2h_time(0) + d2h
                                 / costs.pcie_d2h_bandwidth, "d2h"))
+        return segments
+    if mode == GPUCC:
+        # Bounce-buffer DMA staging adds a third pipeline stage; the
+        # device-side AEAD runs on the on-die engine rather than SMs.
+        segments.append(Segment("host", costs.gpucc_task_init
+                                + costs.gpucc_session_setup, "init"))
+        segments.append(Segment("host", pipelined_time(
+            h2d, [costs.cpu_aead_bandwidth, costs.gpucc_bounce_bandwidth,
+                  costs.pcie_h2d_bandwidth],
+            costs.pipeline_chunk_bytes), "h2d"))
+        segments.extend(_crypto_kernel_segments(h2d, costs, mode))
+        segments.extend(_compute_segments(workload, costs, mode))
+        segments.extend(_crypto_kernel_segments(d2h, costs, mode))
+        segments.append(Segment("host", pipelined_time(
+            d2h, [costs.pcie_d2h_bandwidth, costs.gpucc_bounce_bandwidth,
+                  costs.cpu_aead_bandwidth],
+            costs.pipeline_chunk_bytes), "d2h"))
         return segments
     segments.append(Segment("host", costs.hix_task_init
                             + costs.session_setup, "init"))

@@ -51,19 +51,22 @@ def serve_run(workload: Workload, num_users: int,
               quota: Optional[TenantQuota] = None,
               crypto_efficiency: Optional[float] = None,
               machine: Optional[Machine] = None,
-              fast_path: bool = True) -> ServeReport:
+              fast_path: bool = True,
+              backend: str = "hix") -> ServeReport:
     """One serving run: *num_users* tenants, each submitting *workload*.
 
     Builds a fresh machine (unless *machine* is supplied — profiling
-    runs pass one in so a tracer can already be attached to its clock),
+    runs pass one in so a tracer can already be attached to its clock;
+    a supplied machine's configured TEE backend wins over *backend*),
     admits ``user0..userN-1`` with *quota* (default :data:`SWEEP_QUOTA`),
     decomposes the workload into each tenant's request stream, and runs
     the engine.
     """
     if machine is None:
-        config = MachineConfig(data_inflation=inflation)
+        config = MachineConfig(data_inflation=inflation, backend=backend)
         if costs is not None:
-            config = MachineConfig(data_inflation=inflation, costs=costs)
+            config = MachineConfig(data_inflation=inflation, costs=costs,
+                                   backend=backend)
         machine = Machine(config)
     engine = ServeEngine(machine, scheduler=scheduler,
                          max_tenants=max(num_users, 1),
@@ -73,7 +76,7 @@ def serve_run(workload: Workload, num_users: int,
     for index in range(num_users):
         client = engine.add_tenant(f"user{index}")
         submit_workload(client, workload, inflation, machine.costs,
-                        seed=index)
+                        seed=index, backend=machine.config.backend)
     return engine.run()
 
 
@@ -81,7 +84,8 @@ def serve_figure(workload: Workload,
                  users: Sequence[int] = (1, 2, 4),
                  scheduler: Union[str, Scheduler] = "fair",
                  inflation: float = DEFAULT_INFLATION,
-                 costs: Optional[CostModel] = None) -> FigureData:
+                 costs: Optional[CostModel] = None,
+                 backend: str = "hix") -> FigureData:
     """Relative-slowdown concurrency curve, serving path vs analytic.
 
     Both series are normalized to their own 1-user time.  The serving
@@ -92,14 +96,14 @@ def serve_figure(workload: Workload,
     derate is also what ``run_multiuser(.., 1)`` models).
     """
     costs = costs or CostModel()
-    eff = costs.gpu_aead_multiuser_efficiency
+    eff = costs.aead_multiuser_efficiency(backend)
     serve_ms, analytic_ms = [], []
     for n in users:
         report = serve_run(workload, n, scheduler=scheduler,
                            inflation=inflation, costs=costs,
-                           crypto_efficiency=eff)
+                           crypto_efficiency=eff, backend=backend)
         serve_ms.append(report.makespan * 1e3)
-        analytic_ms.append(run_multiuser(workload, HIX, n, costs) * 1e3)
+        analytic_ms.append(run_multiuser(workload, backend, n, costs) * 1e3)
     serve_rel = [m / serve_ms[0] for m in serve_ms]
     analytic_rel = [m / analytic_ms[0] for m in analytic_ms]
     worst = max(abs(s - a) / a

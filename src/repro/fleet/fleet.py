@@ -30,7 +30,7 @@ bare ``ServeEngine.run()`` — the router decides placement synchronously
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.fleet.lite import LiteProfile
 from repro.fleet.router import MachineStatus, Placement, Router, SessionSpec
@@ -100,6 +100,7 @@ class FleetMachine:
             drain_seconds=self.drain_estimate(),
             memory_committed=self.reserved_bytes + in_use,
             memory_budget=self.machine.config.vram_size_actual,
+            backend=self.machine.config.backend,
             weight=self.weight,
             draining=self.draining,
             healthy=self.healthy,
@@ -181,7 +182,7 @@ class FleetReport:
 class Fleet:
     """M machines, one router, one clock."""
 
-    def __init__(self, machines: int = 2,
+    def __init__(self, machines: Union[int, Sequence[MachineConfig]] = 2,
                  scheduler: str = "fair",
                  policy: Union[str, object] = "least-loaded",
                  machine_config: Optional[MachineConfig] = None,
@@ -193,14 +194,28 @@ class Fleet:
                  breaker: Optional[BreakerConfig] = None,
                  capture_units: bool = False,
                  seed: int = 0) -> None:
-        if machines < 1:
-            raise ValueError("a fleet needs at least one machine")
+        # ``machines`` is a count (homogeneous fleet, every machine built
+        # from ``machine_config``) or a sequence of per-machine
+        # MachineConfigs — a heterogeneous fleet mixing TEE backends,
+        # VRAM sizes, or suite choices behind one router.
+        if isinstance(machines, int):
+            if machines < 1:
+                raise ValueError("a fleet needs at least one machine")
+            base = machine_config if machine_config is not None \
+                else MachineConfig()
+            configs: List[MachineConfig] = [base] * machines
+        else:
+            configs = list(machines)
+            if not configs:
+                raise ValueError("a fleet needs at least one machine")
+            if machine_config is not None:
+                raise ValueError("pass either a machine count with "
+                                 "machine_config or a sequence of "
+                                 "per-machine configs, not both")
         self.router = Router(policy)
         self._scheduler_name = scheduler
         self.machines: List[FleetMachine] = []
-        for index in range(machines):
-            config = machine_config if machine_config is not None \
-                else MachineConfig()
+        for index, config in enumerate(configs):
             machine = Machine(config)
             engine = ServeEngine(machine, scheduler=scheduler,
                                  max_tenants=max_tenants,

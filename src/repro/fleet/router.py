@@ -59,6 +59,7 @@ class MachineStatus:
     drain_seconds: float = 0.0     # backlog / observed service rate
     memory_committed: int = 0      # reserved + in-use device bytes
     memory_budget: int = 0         # machine VRAM (real bytes)
+    backend: str = "hix"           # TEE backend (repro.backends)
     weight: float = 1.0
     draining: bool = False
     healthy: bool = True

@@ -74,6 +74,13 @@ class SimGpu(PcieFunction):
         self._device_secret = device_secret
         self._bios = build_bios_image(device_id)
         self._dma = None
+        # Confidential-computing mode (GPU-CC backend).  Once enabled the
+        # on-die firewall refuses the BAR1 VRAM aperture entirely — host
+        # software, privileged or not, can only move data via DMA of
+        # sealed blobs.  Sticky across REG_RESET: CC mode survives a
+        # device reset, like the mode bit on real parts, and is only
+        # dropped by a machine cold boot building a fresh device.
+        self.cc_mode = False
 
         self.contexts: Dict[int, GpuContext] = {}
         self._engine_ctx: Optional[int] = None  # context resident on the engine
@@ -122,6 +129,10 @@ class SimGpu(PcieFunction):
         if bar_index == 0:
             return self._bar0_read(offset, length)
         if bar_index == 1:
+            if self.cc_mode:
+                raise UnsupportedRequest(
+                    "CC firewall: VRAM aperture (BAR1) is disabled in "
+                    "confidential-computing mode")
             return self.vram.read(self._aperture_base + offset, length)
         raise UnsupportedRequest(f"GPU has no BAR{bar_index}")
 
@@ -130,9 +141,17 @@ class SimGpu(PcieFunction):
             self._bar0_write(offset, data)
             return
         if bar_index == 1:
+            if self.cc_mode:
+                raise UnsupportedRequest(
+                    "CC firewall: VRAM aperture (BAR1) is disabled in "
+                    "confidential-computing mode")
             self.vram.write(self._aperture_base + offset, data)
             return
         raise UnsupportedRequest(f"GPU has no BAR{bar_index}")
+
+    def enable_cc(self) -> None:
+        """Enter confidential-computing mode (GPU-CC backend boot)."""
+        self.cc_mode = True
 
     def _bar0_read(self, offset: int, length: int) -> bytes:
         if offset >= regs.FIFO_OFFSET:
@@ -349,8 +368,15 @@ class SimGpu(PcieFunction):
         dh = self._device_dh(ctx.ctx_id)
         ctx.session_key = dh.shared_secret(b_value)[:16]
         self._suites.pop(ctx.ctx_id, None)
-        reply = (dh.public_value.to_bytes(256, "big")
-                 + dh.raise_value(a_value).to_bytes(256, "big"))
+        if self.cc_mode:
+            # Two-party exchange (GPU-CC): the reply carries only the
+            # device's public value C = g^g.  The A^g half would let the
+            # untrusted driver that relays the reply derive the session
+            # key, so the engine never emits it in CC mode.
+            reply = dh.public_value.to_bytes(256, "big") + bytes(256)
+        else:
+            reply = (dh.public_value.to_bytes(256, "big")
+                     + dh.raise_value(a_value).to_bytes(256, "big"))
         self.write_ctx(ctx, resp_va, reply)
 
     def suite_for_context(self, ctx: GpuContext) -> AeadSuite:

@@ -287,7 +287,8 @@ class ServeEngine:
                  seed: int = 0,
                  capture_units: bool = False) -> None:
         self._machine = machine
-        self._service = service if service is not None else machine.boot_hix()
+        self._service = (service if service is not None
+                         else machine.boot_secure())
         if isinstance(scheduler, str):
             scheduler = make_scheduler(scheduler, machine.costs)
         self._scheduler = scheduler
@@ -320,7 +321,8 @@ class ServeEngine:
     def _memo_token(self, crypto_eff: float):
         """Everything that parameterizes what an identical request charges."""
         config = getattr(self._machine, "config", None)
-        return (getattr(config, "suite_name", None),
+        return (getattr(config, "backend", "hix"),
+                getattr(config, "suite_name", None),
                 getattr(config, "data_inflation", None),
                 self._channel_queue_depth, crypto_eff,
                 costs_fingerprint(self._machine.costs))
@@ -360,7 +362,8 @@ class ServeEngine:
         if self._crypto_efficiency is not None:
             return self._crypto_efficiency
         if len({c.name for c in self._clients}) > 1:
-            return self._machine.costs.gpu_aead_multiuser_efficiency
+            return self._machine.backend.multiuser_efficiency(
+                self._machine.costs)
         return 1.0
 
     def _split(self, elapsed: TimeBreakdown, crypto_eff: float):
@@ -404,10 +407,10 @@ class ServeEngine:
         """
         machine = self._machine
         try:
-            self._service = machine.boot_hix()
+            self._service = machine.boot_secure()
         except GpuAlreadyOwned:
             machine.cold_boot()
-            self._service = machine.boot_hix()
+            self._service = machine.boot_secure()
         obs_metrics.registry().counter("serve.retry.service_restores").inc()
 
     def _recover_session(self, client: TenantClient, guarded: "_GuardedApi",
@@ -429,13 +432,14 @@ class ServeEngine:
         clock.add_listener(recorder)
         try:
             with _span("serve.session-recovery", "serve",
-                       tenant=client.name):
+                       tenant=client.name,
+                       backend=getattr(machine.config, "backend", "hix")):
                 if not self._service.alive:
                     self._restore_service()
                 for token in list(guarded._handles.values()):
                     self.table.release_memory(client.record, token)
                 guarded._handles.clear()
-                api = machine.hix_session(
+                api = machine.secure_session(
                     self._service, name=client.name,
                     channel_queue_depth=self._channel_queue_depth)
                 api.cuCtxCreate()
@@ -500,10 +504,11 @@ class ServeEngine:
         recorder = _ChargeRecorder()
         clock.add_listener(recorder)
         try:
-            api = machine.hix_session(
+            api = machine.secure_session(
                 self._service, name=client.name,
                 channel_queue_depth=self._channel_queue_depth)
-            with _span("serve.session-setup", "serve", tenant=client.name):
+            with _span("serve.session-setup", "serve", tenant=client.name,
+                       backend=getattr(machine.config, "backend", "hix")):
                 api.cuCtxCreate()
         finally:
             clock.remove_listener(recorder)
@@ -978,6 +983,9 @@ class ServeEngine:
         scheduling decisions.
         """
         registry = obs_metrics.registry()
+        backend = getattr(getattr(self._machine, "config", None),
+                          "backend", "hix")
+        registry.counter(f"serve.backend.{backend}.runs").inc()
         for name, total in report_totals(report).items():
             if total:
                 registry.counter(name).inc(total)

@@ -15,8 +15,10 @@ carry the same structure the analytic Figures 8/9 segments assume
 Chunk/group caps keep wall-clock bounded at high inflation; the launch
 cap is compensated exactly like the harness's launch-count correction,
 by charging the elided launches' overhead
-(``costs.launch_overhead("hix")``) as extra host seconds on the grouped
-launch requests.
+(``costs.launch_overhead(backend)``) as extra host seconds on the
+grouped launch requests.  Pass ``backend=`` matching the machine's
+``MachineConfig.backend`` so the compensation uses that backend's
+per-launch cost.
 """
 
 from __future__ import annotations
@@ -44,7 +46,8 @@ def submit_workload(client: TenantClient, workload: Workload,
                     inflation: float, costs: CostModel,
                     max_copy_chunks: int = 8,
                     max_launch_groups: int = 8,
-                    seed: Optional[int] = None) -> List[ServeRequest]:
+                    seed: Optional[int] = None,
+                    backend: str = "hix") -> List[ServeRequest]:
     """Queue *workload* on *client* as a stream of serving requests.
 
     Returns the submitted requests (setup, uploads, launches, downloads,
@@ -71,7 +74,7 @@ def submit_workload(client: TenantClient, workload: Workload,
     elided_per_group = 0.0
     if groups:
         elided_per_group = ((launches / groups) - 1.0) \
-            * costs.launch_overhead("hix")
+            * costs.launch_overhead(backend)
 
     state: Dict[str, object] = {}
     rng = np.random.default_rng(seed if seed is not None else 1)

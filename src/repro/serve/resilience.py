@@ -43,17 +43,24 @@ KIND_QUOTA = "quota"              # admission denial — policy, not a fault
 KIND_REJECTED = "rejected"        # structured error reply from the enclave
 KIND_DRIVER = "driver"            # other driver/runtime failure
 KIND_CIRCUIT_OPEN = "circuit_open"  # shed by the tenant's open breaker
+# Attestation failures carry their own structured kinds (set as
+# ``error_kind`` on the exception classes in :mod:`repro.errors`), so
+# boot/attest failures classify the same way on every TEE backend:
+KIND_ATTESTATION = "attestation_mismatch"   # evidence failed verification
+KIND_CERT_CHAIN = "cert_chain_invalid"      # chain does not reach the root
 
 #: Kinds that indicate backend ill-health (counted by the breaker).
 #: Quota denials are policy decisions and timeouts settle after the
 #: execution already returned, so neither trips the breaker.
 BREAKER_KINDS = frozenset({KIND_QUEUE_FULL, KIND_CRYPTO, KIND_DEVICE_LOST,
-                           KIND_REJECTED, KIND_DRIVER})
+                           KIND_REJECTED, KIND_DRIVER,
+                           KIND_ATTESTATION, KIND_CERT_CHAIN})
 
 #: Kinds whose failures warrant a session re-establishment (fresh
 #: attestation + key exchange) before the retry: the session or device
 #: the request ran against can no longer be trusted or reached.
-RECOVERY_KINDS = frozenset({KIND_DEVICE_LOST, KIND_CRYPTO})
+RECOVERY_KINDS = frozenset({KIND_DEVICE_LOST, KIND_CRYPTO,
+                            KIND_ATTESTATION, KIND_CERT_CHAIN})
 
 
 def classify_failure(exc: BaseException) -> str:
@@ -68,8 +75,11 @@ def classify_failure(exc: BaseException) -> str:
         return KIND_QUEUE_FULL
     if isinstance(exc, GpuUnavailable):
         return KIND_DEVICE_LOST
-    if isinstance(exc, (IntegrityError, ReplayError, AttestationError,
-                        CryptoError)):
+    if isinstance(exc, AttestationError):
+        # Structured: "attestation_mismatch", or "cert_chain_invalid"
+        # for CertChainError — uniform across TEE backends.
+        return getattr(exc, "error_kind", KIND_CRYPTO)
+    if isinstance(exc, (IntegrityError, ReplayError, CryptoError)):
         return KIND_CRYPTO
     if isinstance(exc, RequestRejected):
         return KIND_REJECTED
@@ -101,7 +111,8 @@ class RetryPolicy:
     multiplier: float = 2.0
     jitter: float = 0.5
     retry_on: frozenset = frozenset({KIND_QUEUE_FULL, KIND_DEVICE_LOST,
-                                     KIND_CRYPTO})
+                                     KIND_CRYPTO, KIND_ATTESTATION,
+                                     KIND_CERT_CHAIN})
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:

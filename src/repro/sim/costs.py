@@ -58,6 +58,18 @@ class CostModel:
     # throughput drops by this factor in the multi-user model.
     gpu_aead_multiuser_efficiency: float = 0.5
 
+    # --- GPU-CC backend (H100-style confidential computing) --------------
+    # On-die AES-GCM engine sits next to the copy engines: near line rate,
+    # fixed-function (no kernel launch, no SM occupancy).
+    gpucc_engine_bandwidth: float = 12.0 * GB
+    gpucc_engine_latency: float = 8.0 * US
+    # Staging copy through the unprotected bounce region the untrusted
+    # driver DMAs from (ciphertext only ever crosses it).
+    gpucc_bounce_bandwidth: float = 11.0 * GB
+    # A fixed-function engine loses less throughput on small per-chunk
+    # batches than HIX's SM-resident crypto kernels do.
+    gpucc_aead_multiuser_efficiency: float = 0.85
+
     # --- Copy pipelining (Section 5.2: chunked encrypt || transfer) ---
     pipeline_chunk_bytes: int = 4 * int(MB)
 
@@ -70,6 +82,14 @@ class CostModel:
     memcpy_request_overhead_hix: float = 25.0 * US  # encrypted metadata msg
     enclave_transition: float = 2.0 * US    # EENTER/EEXIT pair
     msgqueue_hop: float = 3.0 * US          # wake + dequeue, one direction
+    # GPU-CC lifecycle: plain (untrusted) kernel driver, so task init is
+    # cheaper than HIX's in-enclave Gdev, but session setup pays the
+    # cert-chain fetch/verify + SPDM-style device attestation instead of
+    # a local SGX report.
+    gpucc_task_init: float = 16.0 * MS
+    gpucc_session_setup: float = 9.0 * MS
+    kernel_launch_gpucc: float = 45.0 * US  # sealed submit via untrusted KMD
+    memcpy_request_overhead_gpucc: float = 18.0 * US
 
     # --- GPU execution engine ---
     gpu_context_switch: float = 120.0 * US  # Fermi ctx save/restore
@@ -130,14 +150,32 @@ class CostModel:
         return (2 * self.msgqueue_hop + 2 * self.enclave_transition
                 + 2 * self.cpu_aead_setup_latency)
 
+    def rpc_round_trip_gpucc(self) -> float:
+        """GPU-CC sealed round trip: no enclave to enter, so the
+        EENTER/EEXIT pair drops out; everything else is identical."""
+        return 2 * self.msgqueue_hop + 2 * self.cpu_aead_setup_latency
+
+    def gpucc_engine_time(self, nbytes: int) -> float:
+        """Seconds for one on-die AEAD engine pass over *nbytes* (modeled)."""
+        return (self.gpucc_engine_latency
+                + self.scaled(nbytes) / self.gpucc_engine_bandwidth)
+
+    def aead_multiuser_efficiency(self, backend: str = "hix") -> float:
+        """Multi-user derate of the backend's GPU-side crypto stage."""
+        if backend == "gpucc":
+            return self.gpucc_aead_multiuser_efficiency
+        return self.gpu_aead_multiuser_efficiency
+
     def launch_overhead(self, mode: str) -> float:
         """Driver-visible cost of one kernel launch, beyond GPU compute.
 
         *mode* is ``"gdev"`` (ioctl + param-buffer DMA + FIFO kick +
-        status poll) or ``"hix"`` (sealed round trip + trusted-MMIO
-        param write).  Shared by the evalkit harness's launch-count
-        correction and the serving layer's job builder, so both charge
-        elided launches identically.
+        status poll), ``"hix"`` (sealed round trip + trusted-MMIO param
+        write) or ``"gpucc"`` (sealed round trip through the untrusted
+        KMD + param staging via the bounce DMA path — no trusted MMIO
+        exists under the CC firewall).  Shared by the evalkit harness's
+        launch-count correction and the serving layer's job builder, so
+        both charge elided launches identically.
         """
         if mode == "gdev":
             return (self.kernel_launch_gdev + self.dma_setup_latency
@@ -145,7 +183,11 @@ class CostModel:
         if mode == "hix":
             return (self.kernel_launch_hix + self.rpc_round_trip()
                     + 4 * self.mmio_reg_latency)
-        raise ValueError(f"mode must be 'gdev' or 'hix', got {mode!r}")
+        if mode == "gpucc":
+            return (self.kernel_launch_gpucc + self.rpc_round_trip_gpucc()
+                    + self.dma_setup_latency)
+        raise ValueError(
+            f"mode must be 'gdev', 'hix' or 'gpucc', got {mode!r}")
 
     def with_overrides(self, **overrides: float) -> "CostModel":
         """Return a copy with the given parameters replaced (for ablations)."""

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.backends import backend_names, get_backend
+from repro.backends.gpucc import GpuCcApi, GpuCcService
 from repro.core.gpu_enclave import GpuEnclaveService, gpu_enclave_image
 from repro.core.runtime import HixApi
 from repro.gdev.api import GdevApi
@@ -62,8 +64,13 @@ class MachineConfig:
     suite_name: str = "fast-auth"
     allow_sizing_inquiry: bool = False
     costs: Optional[CostModel] = None
+    backend: str = "hix"                  # TEE backend (repro.backends)
 
     def __post_init__(self) -> None:
+        if self.backend not in backend_names():
+            known = ", ".join(backend_names())
+            raise ValueError(
+                f"unknown TEE backend {self.backend!r}; known: {known}")
         if self.data_inflation < 1.0:
             raise ValueError("data_inflation must be >= 1 (functional bytes "
                              "are modeled bytes / inflation)")
@@ -217,6 +224,55 @@ class Machine:
                       suite_name=self.config.suite_name,
                       channel_queue_depth=channel_queue_depth)
 
+    def boot_gpucc(self, region_size: int = 4 * MB,
+                   device: Optional[SimGpu] = None) -> GpuCcService:
+        """Bring up the untrusted GPU-CC driver for *device*."""
+        device = device or self.gpu
+        service = GpuCcService(
+            self.kernel, self.root_complex, device,
+            suite_name=self.config.suite_name,
+            region_size=region_size)
+        return service.boot()
+
+    def gpucc_session(self, service: GpuCcService, name: str = "app",
+                      check_identity: bool = True,
+                      channel_queue_depth: Optional[int] = None) -> GpuCcApi:
+        """Create a user process and its GPU-CC runtime.
+
+        The user runs in a CPU TEE (no SGX enclave is loaded); identity
+        checking pins the device's attested firmware hash against the
+        vendor-published value for that device model.
+        """
+        process = self.kernel.create_process(name)
+        expected = (self.expected_bios_hash_for(service.device)
+                    if check_identity else None)
+        return GpuCcApi(self.kernel, process, service,
+                        clock=self.clock, costs=self.costs,
+                        expected_fw_hash=expected,
+                        suite_name=self.config.suite_name,
+                        channel_queue_depth=channel_queue_depth)
+
+    # -- backend-generic entry points -----------------------------------------
+
+    @property
+    def backend(self):
+        """The machine's configured TEE backend (a stateless singleton)."""
+        return get_backend(self.config.backend)
+
+    def boot_secure(self, region_size: int = 4 * MB,
+                    device: Optional[SimGpu] = None):
+        """Boot the configured backend's machine-side service."""
+        return self.backend.boot(self, region_size=region_size,
+                                 device=device)
+
+    def secure_session(self, service, name: str = "app",
+                       check_identity: bool = True,
+                       channel_queue_depth: Optional[int] = None):
+        """Attested session on the configured backend's service."""
+        return self.backend.create_session(
+            self, service, name=name, check_identity=check_identity,
+            channel_queue_depth=channel_queue_depth)
+
     # -- adversary / lifecycle --------------------------------------------------------
 
     def adversary(self) -> PrivilegedAdversary:
@@ -231,6 +287,9 @@ class Machine:
         """
         self.sgx.cold_boot_reset()
         self.gpu.reset()
+        # CC mode is sticky across REG_RESET but not across power loss;
+        # the next boot_gpucc() re-enables it.
+        self.gpu.cc_mode = False
         self.mmu.tlb.flush_all()
         self.kernel = Kernel(self.phys_mem, self.mmu, self.address_map,
                              self.sgx)

@@ -225,3 +225,65 @@ class TestFleetCli:
     def test_chaos_list_includes_fleet_campaign(self, capsys):
         assert main(["chaos", "--list"]) == 0
         assert "fleet-migration" in capsys.readouterr().out
+
+
+class TestHeterogeneousFleet:
+    """Per-machine configs: mixed TEE backends and mixed VRAM sizes."""
+
+    def _mixed_fleet(self, policy="least-loaded", big_vram=3 * (1 << 30)):
+        configs = [
+            MachineConfig(data_inflation=INFLATION, backend="hix"),
+            MachineConfig(data_inflation=INFLATION, backend="gpucc",
+                          vram_size_modeled=big_vram),
+        ]
+        return Fleet(machines=configs, scheduler="fair", policy=policy,
+                     max_tenants=4, seed=0)
+
+    def test_statuses_report_per_machine_backends(self):
+        fleet = self._mixed_fleet()
+        statuses = fleet.statuses()
+        assert [s.backend for s in statuses] == ["hix", "gpucc"]
+        assert statuses[1].memory_budget > statuses[0].memory_budget
+
+    def test_mixed_fleet_serves_on_both_backends(self):
+        fleet = self._mixed_fleet()
+        plans = [submit_victim_stream(fleet.add_session(f"user{i}"),
+                                      rounds=2, seed=0)
+                 for i in range(4)]
+        machines_used = {fleet.router.machine_of(f"user{i}")
+                         for i in range(4)}
+        assert machines_used == {0, 1}
+        report = fleet.run()
+        for plan in plans:
+            assert plan.goodput() == 1.0
+        for name, subject, ok, detail in [c for p in plans
+                                          for c in p.checks()]:
+            assert ok, f"{name} [{subject}]: {detail}"
+        assert report.merged.makespan > 0.0
+
+    def test_memory_fit_places_large_session_on_large_machine(self):
+        fleet = self._mixed_fleet(policy="memory-fit")
+        small_budget = fleet.statuses()[0].memory_budget
+        big = fleet.add_session("bulky", memory_bytes=small_budget + 1)
+        assert fleet.router.machine_of("bulky") == 1
+        small = fleet.add_session("slim", memory_bytes=1 << 20)
+        assert fleet.router.machine_of("slim") is not None
+        assert big is not None and small is not None
+
+    def test_least_loaded_spreads_over_mixed_fleet(self):
+        fleet = self._mixed_fleet(policy="least-loaded")
+        for i in range(4):
+            fleet.add_session(f"user{i}", est_seconds=1.0)
+        per_machine = [0, 0]
+        for i in range(4):
+            per_machine[fleet.router.machine_of(f"user{i}")] += 1
+        assert per_machine == [2, 2]
+
+    def test_count_plus_config_sequence_is_rejected(self):
+        with pytest.raises(ValueError):
+            Fleet(machines=[MachineConfig()],
+                  machine_config=MachineConfig())
+
+    def test_empty_config_sequence_is_rejected(self):
+        with pytest.raises(ValueError):
+            Fleet(machines=[])

@@ -1,25 +1,44 @@
 """The Section 5.5 attack-surface analysis, as executable assertions.
 
 Every attack must genuinely *succeed* against the Gdev baseline and be
-blocked or detected by HIX — both halves are asserted, so a regression
-that silently weakens the baseline model (making attacks "fail" for the
-wrong reason) is caught too.
+defended by every TEE backend — both halves are asserted, so a
+regression that silently weakens the baseline model (making attacks
+"fail" for the wrong reason) is caught too.  Each backend's verdict
+must also match its declared expectation class (BLOCKED vs DETECTED vs
+TOLERATED), pinning the *threat-model shape*, not just "defended".
 """
 
 import pytest
 
 from repro.evalkit import security
 
+BACKENDS = sorted(security.EXPECTED_VERDICTS)
 
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("attack", security.ATTACKS,
                          ids=lambda fn: fn.__name__)
-def test_attack_succeeds_on_baseline_and_is_defended_by_hix(attack):
-    result = attack()
+def test_attack_succeeds_on_baseline_and_is_defended(attack, backend):
+    result = attack(backend)
     assert result.baseline.startswith(security.SUCCEEDS), (
         f"{result.name}: expected the baseline to be vulnerable, got "
         f"{result.baseline}")
-    assert not result.hix.startswith(security.SUCCEEDS), (
-        f"{result.name}: HIX failed to defend: {result.hix}")
+    assert not result.secure.startswith(security.SUCCEEDS), (
+        f"{result.name}: {backend} failed to defend: {result.secure}")
+    assert result.defended
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_verdict_classes_match_expectations(backend):
+    expected = security.EXPECTED_VERDICTS[backend]
+    for result in security.run_attack_matrix(backend):
+        assert result.name in expected, (
+            f"no expected verdict declared for {result.name!r} "
+            f"under {backend}")
+        prefix = expected[result.name]
+        assert result.secure.startswith(prefix), (
+            f"{result.name} under {backend}: expected class "
+            f"{prefix!r}, got {result.secure!r}")
 
 
 def test_matrix_covers_every_figure10_class():
@@ -30,8 +49,15 @@ def test_matrix_covers_every_figure10_class():
     assert ids == {"(1)", "(2)", "(3)", "(4)", "(5)", "(6)"}
 
 
-def test_render_matrix_mentions_every_attack():
-    results = security.run_attack_matrix()
+def test_run_attack_matrix_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        security.run_attack_matrix("sev-gpu")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_render_matrix_mentions_every_attack(backend):
+    results = security.run_attack_matrix(backend)
     text = security.render_attack_matrix(results)
+    assert security.BACKEND_LABELS[backend] in text
     for result in results:
         assert result.name in text

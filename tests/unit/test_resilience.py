@@ -12,6 +12,7 @@ from repro.errors import (
     AdmissionError,
     AttestationError,
     BackpressureError,
+    CertChainError,
     CryptoError,
     DriverError,
     GpuUnavailable,
@@ -23,6 +24,8 @@ from repro.errors import (
 from repro.serve import BreakerConfig, CircuitBreaker, RetryPolicy, ServeEngine
 from repro.serve.queues import BACKPRESSURE, FAILED, SERVED
 from repro.serve.resilience import (
+    KIND_ATTESTATION,
+    KIND_CERT_CHAIN,
     KIND_CRYPTO,
     KIND_DEVICE_LOST,
     KIND_DRIVER,
@@ -47,7 +50,8 @@ class TestClassifyFailure:
         (GpuUnavailable("gone"), KIND_DEVICE_LOST),
         (IntegrityError("mac"), KIND_CRYPTO),
         (ReplayError("nonce"), KIND_CRYPTO),
-        (AttestationError("quote"), KIND_CRYPTO),
+        (AttestationError("quote"), KIND_ATTESTATION),
+        (CertChainError("forged"), KIND_CERT_CHAIN),
         (CryptoError("aead"), KIND_CRYPTO),
         (RequestRejected("nope", "EINVAL"), KIND_REJECTED),
         (DriverError("unknown"), KIND_DRIVER),

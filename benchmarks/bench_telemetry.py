@@ -1,0 +1,96 @@
+"""Telemetry micro-benchmarks: the cost of windowed collection.
+
+The time-series sampler's contract mirrors the tracer's: a serve run
+with no sampler attached pays nothing (one ``None`` check per settle),
+and an attached sampler stays cheap enough that always-on telemetry is
+practical.  Three layers are pinned in the perf gate — the disabled
+full-path serve run (tracked against ``bench_serve``'s equivalent),
+the enabled run (sampler + clock listener live), and the raw
+record/evaluate primitives (mark/observe throughput and a full
+burn-rate evaluation over a populated sampler).
+"""
+
+import pytest
+
+from repro.evalkit.serve_sweep import serve_run
+from repro.obs.slo import (
+    AlertManager,
+    SloObjective,
+    bad_series,
+    good_series,
+    latency_series,
+)
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.workloads import rodinia_workloads
+
+INFLATION = 8192.0
+
+
+def _nn_workload():
+    return {w.name: w for w in rodinia_workloads()}["nn"]
+
+
+@pytest.mark.benchmark(group="telemetry")
+def test_perf_serve_telemetry_disabled(benchmark):
+    """Full serve path with no sampler: the guard-only overhead."""
+    workload = _nn_workload()
+
+    def run():
+        report = serve_run(workload, 2, scheduler="fair",
+                           inflation=INFLATION)
+        assert all(t.served == t.submitted for t in report.tenants)
+        return report
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="telemetry")
+def test_perf_serve_telemetry_enabled(benchmark):
+    """Same run with a live sampler on the kernel clock."""
+    workload = _nn_workload()
+
+    def run():
+        sampler = TimeSeriesSampler()
+        report = serve_run(workload, 2, scheduler="fair",
+                           inflation=INFLATION, telemetry=sampler)
+        assert all(t.served == t.submitted for t in report.tenants)
+        return report
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="telemetry")
+def test_perf_sampler_record_10k(benchmark):
+    """Raw mark + observe throughput across many windows."""
+    def run():
+        sampler = TimeSeriesSampler(width=1e-3)
+        for step in range(10_000):
+            time = step * 3.7e-5
+            sampler.mark(good_series("t0"), time)
+            sampler.observe(latency_series("t0"), time, 2e-4 + step * 1e-8)
+        return len(sampler.names())
+
+    assert benchmark(run) == 2
+
+
+@pytest.mark.benchmark(group="telemetry")
+def test_perf_alert_evaluation(benchmark):
+    """Burn-rate + latency rule sweep over a populated sampler."""
+    sampler = TimeSeriesSampler(width=1e-3)
+    for window in range(200):
+        time = window * 1e-3 + 1e-5
+        sampler.mark(good_series("t0"), time, amount=40.0)
+        sampler.mark(bad_series("t0"), time,
+                     amount=4.0 if window % 3 else 0.0)
+        for sub in range(8):
+            sampler.observe(latency_series("t0"), time + sub * 1e-4,
+                            1e-4 + (window % 7) * 2e-4)
+    objectives = {"t0": SloObjective(availability=0.99,
+                                     latency_target=8e-4)}
+
+    def run():
+        manager = AlertManager(sampler, objectives)
+        manager.evaluate()
+        return len(manager.report().alerts)
+
+    assert benchmark(run) > 0

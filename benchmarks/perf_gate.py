@@ -47,6 +47,7 @@ BENCH_FILES = [
     Path(__file__).resolve().parent / "bench_serve.py",
     Path(__file__).resolve().parent / "bench_engine.py",
     Path(__file__).resolve().parent / "bench_obs.py",
+    Path(__file__).resolve().parent / "bench_telemetry.py",
     Path(__file__).resolve().parent / "bench_fleet.py",
     Path(__file__).resolve().parent / "bench_backends.py",
 ]

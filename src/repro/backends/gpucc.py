@@ -79,6 +79,7 @@ from repro.gpu.commands import CommandOpcode, encode_command
 from repro.gpu.device import SimGpu
 from repro.gpu.module import CubinImage, DevPtr, ParamValue
 from repro.gpu.regs import REG_RESET, RESET_MAGIC
+from repro.obs import audit as obs_audit
 from repro.obs.tracer import STATE as _OBS
 from repro.osmodel.driver_stub import map_gpu_mmio
 from repro.osmodel.kernel import Kernel
@@ -695,10 +696,38 @@ class GpuCcApi:
         """Certified device attestation + 2-party key exchange."""
         tracer = _OBS.tracer
         if tracer is None:
-            return self._cuCtxCreate()
+            return self._audited_ctx_create()
         with tracer.span("gpucc.cuCtxCreate", "gpucc",
                          pid=self._process.pid):
-            return self._cuCtxCreate()
+            return self._audited_ctx_create()
+
+    def _audited_ctx_create(self) -> "GpuCcApi":
+        """Session setup with its security evidence on the audit log:
+        the attestation verdict — including which stage failed, the
+        cert chain or the SPDM report — and the key exchange."""
+        log = obs_audit.audit_log()
+        subject = self._process.name
+        now = self._clock.now if self._clock is not None else 0.0
+        try:
+            result = self._cuCtxCreate()
+        except CertChainError as exc:
+            log.record("gpucc.attestation", subject, time=now, ok=False,
+                       detail=str(exc), cause="cert_chain",
+                       backend="gpucc")
+            raise
+        except AttestationError as exc:
+            log.record("gpucc.attestation", subject, time=now, ok=False,
+                       detail=str(exc), cause="report", backend="gpucc")
+            raise
+        now = self._clock.now if self._clock is not None else now
+        log.record("gpucc.attestation", subject, time=now,
+                   detail="device cert chain and attestation report "
+                          "verified", backend="gpucc")
+        log.record("gpucc.key_exchange", subject, time=now,
+                   detail="session key derived (device DH transcript "
+                          "bound to report)", backend="gpucc",
+                   ctx_id=self._ctx_id)
+        return result
 
     def _cuCtxCreate(self) -> "GpuCcApi":
         if self._end is not None:

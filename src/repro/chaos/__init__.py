@@ -4,9 +4,11 @@ The attack matrix proves eleven one-shot scenarios against an idle
 machine; this package proves *composed* faults against a loaded one.
 It schedules fault injections at virtual times on the same
 discrete-event kernel the serving engine runs on, drives abusive
-tenants next to victims, and asserts the two-sided verdict production
+tenants next to victims, and asserts the three-sided verdict production
 demands: isolation holds (no plaintext escape, tampering detected,
-cleanse verified on churn) *and* victims keep bounded service quality.
+cleanse verified on churn), victims keep bounded service quality, *and*
+the monitoring plane detected every injected fault within a bounded
+virtual-time detection latency.
 
 * :mod:`~repro.chaos.faults` — injectable fault primitives built on
   :class:`~repro.osmodel.adversary.PrivilegedAdversary` and the HIX
@@ -18,8 +20,10 @@ cleanse verified on churn) *and* victims keep bounded service quality.
   secret-marked payloads and per-round integrity/cleanse checks;
 * :mod:`~repro.chaos.injector` — the :class:`FaultInjector` bridging
   fault scripts onto a serving run's event clock;
+* :mod:`~repro.chaos.detection` — the detection matcher pairing each
+  injected fault with audit/alert evidence and a detection latency;
 * :mod:`~repro.chaos.campaign` — named campaigns composing all of the
-  above into a deterministic, seeded two-sided verdict
+  above into a deterministic, seeded three-sided verdict
   (``repro chaos`` on the command line);
 * :mod:`~repro.chaos.fleet` — the fleet-tier campaign: session
   migration between machines under fire, traps swept on both

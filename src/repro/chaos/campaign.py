@@ -1,4 +1,4 @@
-"""Named chaos campaigns: composed faults + abuse + a two-sided verdict.
+"""Named chaos campaigns: composed faults + abuse + a three-sided verdict.
 
 A campaign runs the same victim workloads twice on fresh machines:
 
@@ -7,15 +7,21 @@ A campaign runs the same victim workloads twice on fresh machines:
 2. **chaos** — victims plus abusive tenants, with a seeded fault script
    injected at virtual times by :class:`~repro.chaos.injector.FaultInjector`.
 
-The verdict is deliberately two-sided, because production cares about
-both halves at once:
+The verdict is deliberately three-sided, because production cares about
+all three at once:
 
 * **security holds** — every fault's tamper/recovery checks pass, every
   victim round's integrity/cleanse check passes, and no adversary trap
   buffer ever contains a victim secret in plaintext;
 * **fairness holds** — each victim's finish-time slowdown versus its
   baseline stays within the campaign's declared bound, and victim
-  goodput (served / submitted) stays at or above the declared floor.
+  goodput (served / submitted) stays at or above the declared floor;
+* **detection holds** — the monitoring plane *noticed* every injected
+  fault: a matching security-audit event or SLO alert exists within the
+  campaign's virtual-time detection bound (see
+  :mod:`~repro.chaos.detection`).  Victim latency objectives are
+  self-calibrated from the baseline run's own telemetry, so the same
+  campaign holds on every backend without per-backend thresholds.
 
 Everything is virtual-time and seeded: two runs of the same campaign
 with the same seed render byte-identical reports.
@@ -27,6 +33,11 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.abuse import ABUSE_KINDS, AbusePlan
+from repro.chaos.detection import (
+    DetectionCheck,
+    match_detections,
+    victim_latency_target,
+)
 from repro.chaos.faults import Fault
 from repro.chaos.injector import FaultInjector
 from repro.chaos.workload import (
@@ -36,6 +47,9 @@ from repro.chaos.workload import (
     submit_victim_stream,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs.audit import audit_log
+from repro.obs.slo import Alert, AlertManager, SloObjective
+from repro.obs.timeseries import TimeSeriesSampler
 from repro.serve.engine import ServeEngine, ServeReport
 from repro.serve.resilience import BreakerConfig, RetryPolicy
 from repro.serve.session import TenantQuota
@@ -84,6 +98,9 @@ class Campaign:
     fairness_bound: float = 4.0
     #: Minimum victim served/submitted ratio under chaos.
     goodput_floor: float = 0.9
+    #: Maximum virtual seconds between a fault's injection and its
+    #: matching alert or audit event (the detection verdict).
+    detection_bound: float = 8.0e-3
     data_inflation: float = 64.0
     #: Resilience knobs for both runs.  Campaigns that stack several
     #: faults on one victim need enough attempts to ride out two
@@ -115,6 +132,9 @@ class CampaignResult:
     goodput_floor: float
     abuse_plans: List[AbusePlan] = field(default_factory=list)
     backend: str = "hix"
+    detection: List[DetectionCheck] = field(default_factory=list)
+    detection_bound: float = 0.0
+    alerts: List[Alert] = field(default_factory=list)
 
     @property
     def security_ok(self) -> bool:
@@ -125,8 +145,12 @@ class CampaignResult:
         return all(check.ok for check in self.fairness)
 
     @property
+    def detection_ok(self) -> bool:
+        return all(check.ok for check in self.detection)
+
+    @property
     def ok(self) -> bool:
-        return self.security_ok and self.fairness_ok
+        return self.security_ok and self.fairness_ok and self.detection_ok
 
     def fault_kinds_fired(self) -> List[str]:
         return sorted({fault.kind for fault in self.faults if fault.fired})
@@ -161,10 +185,20 @@ class CampaignResult:
                 f"{check.baseline_finish * 1e3:.3f} ms -> "
                 f"{check.chaos_finish * 1e3:.3f} ms "
                 f"({check.slowdown:.2f}x), goodput {check.goodput:.0%}")
+        if self.detection:
+            lines.append(f"  detection (bound "
+                         f"{self.detection_bound * 1e3:.1f} ms):")
+            for check in self.detection:
+                lines.append(f"    {check.render()}")
+        if self.alerts:
+            lines.append(f"  alerts fired ({len(self.alerts)}):")
+            for alert in self.alerts:
+                lines.append(f"    {alert.render()}")
         lines.append(
             f"  verdict: security "
             f"{'PASS' if self.security_ok else 'FAIL'}, "
-            f"fairness {'PASS' if self.fairness_ok else 'FAIL'}"
+            f"fairness {'PASS' if self.fairness_ok else 'FAIL'}, "
+            f"detection {'PASS' if self.detection_ok else 'FAIL'}"
             f" -> {'OK' if self.ok else 'VIOLATION'}")
         return "\n".join(lines)
 
@@ -187,16 +221,18 @@ def _abuse_quota(kind: str) -> TenantQuota:
                        device_memory_bytes=1 << 20)
 
 
-def _build_engine(campaign: Campaign, seed: int,
-                  with_abuse: bool) -> Tuple[ServeEngine, List[VictimPlan],
-                                             List[AbusePlan]]:
+def _build_engine(campaign: Campaign, seed: int, with_abuse: bool,
+                  telemetry: Optional[TimeSeriesSampler] = None,
+                  ) -> Tuple[ServeEngine, List[VictimPlan],
+                             List[AbusePlan]]:
     machine = Machine(MachineConfig(data_inflation=campaign.data_inflation,
                                     backend=campaign.backend))
     engine = ServeEngine(machine, scheduler=campaign.scheduler,
                          max_tenants=campaign.victims + len(campaign.abuse),
                          retry_policy=campaign.retry_policy,
                          breaker=campaign.breaker,
-                         seed=seed)
+                         seed=seed,
+                         telemetry=telemetry)
     plans: List[VictimPlan] = []
     for name in campaign.victim_names():
         client = engine.add_tenant(name, _victim_quota())
@@ -244,17 +280,41 @@ def _trap_escape_checks(engine: ServeEngine,
 
 
 def run_campaign_obj(campaign: Campaign, seed: int = 0) -> CampaignResult:
-    """Execute *campaign* and assemble its two-sided verdict."""
+    """Execute *campaign* and assemble its three-sided verdict."""
     obs_metrics.registry().counter("chaos.campaigns_run").inc()
 
-    baseline_engine, _, _ = _build_engine(campaign, seed, with_abuse=False)
+    base_sampler = TimeSeriesSampler()
+    baseline_engine, _, _ = _build_engine(campaign, seed, with_abuse=False,
+                                          telemetry=base_sampler)
     baseline = baseline_engine.run()
 
+    # Latency objectives are calibrated off this seed's own faultless
+    # run, so the same campaign holds on every backend (gpu-cc's bounce
+    # overhead shifts absolute latencies; the headroom ratio doesn't).
+    objectives: Dict[str, SloObjective] = {}
+    for name in campaign.victim_names():
+        target = victim_latency_target(base_sampler, name)
+        if target is not None:
+            objectives[name] = SloObjective(availability=0.995,
+                                            latency_target=target)
+
+    chaos_sampler = TimeSeriesSampler()
     engine, plans, abuse_plans = _build_engine(campaign, seed,
-                                               with_abuse=True)
+                                               with_abuse=True,
+                                               telemetry=chaos_sampler)
     faults = campaign.faults_factory(campaign.victim_names())
     injector = FaultInjector(faults)
+    # Watermark the audit log so the baseline run's routine events can
+    # never satisfy a detection match.
+    watermark = audit_log().cursor()
     chaos = injector.run(engine)
+
+    manager = AlertManager(chaos_sampler, objectives, audit=audit_log())
+    manager.evaluate()
+    slo_report = manager.report()
+    detection = match_detections(
+        faults, audit_log().events_since(watermark), slo_report.alerts,
+        campaign.detection_bound)
 
     security: List[SecurityCheck] = []
     for plan in plans:
@@ -289,7 +349,10 @@ def run_campaign_obj(campaign: Campaign, seed: int = 0) -> CampaignResult:
                           fairness_bound=campaign.fairness_bound,
                           goodput_floor=campaign.goodput_floor,
                           abuse_plans=abuse_plans,
-                          backend=campaign.backend)
+                          backend=campaign.backend,
+                          detection=detection,
+                          detection_bound=campaign.detection_bound,
+                          alerts=slo_report.alerts)
 
 
 # ---------------------------------------------------------------------------
@@ -345,11 +408,16 @@ CAMPAIGNS: Dict[str, Campaign] = {
         abuse=("queue_flood", "quota_probe"),
         fairness_bound=6.0,
         goodput_floor=0.85,
+        # Four stacked faults: after three recovery cycles the victims
+        # back off, so nothing probes the reset device for ~15 ms of
+        # virtual time — detection is bounded by the next probe, not by
+        # the monitoring plane.
+        detection_bound=20.0e-3,
     ),
     "smoke": Campaign(
         name="smoke",
         description=("CI smoke: one GPU reset mid-run with two abuse "
-                     "tenants; asserts the full two-sided verdict fast."),
+                     "tenants; asserts the full three-sided verdict fast."),
         faults_factory=_smoke_faults,
         victims=2,
         rounds=2,
@@ -369,6 +437,10 @@ CAMPAIGNS: Dict[str, Campaign] = {
         abuse=("timeout_surf",),
         fairness_bound=8.0,
         goodput_floor=0.85,
+        # Arbitration faults are only visible through windowed latency
+        # alerts, and gpu-cc's bounce-buffer session setup delays the
+        # first victim observations by several virtual milliseconds.
+        detection_bound=10.0e-3,
     ),
 }
 
@@ -398,7 +470,7 @@ def run_campaign(name: str, seed: int = 0,
     :class:`~repro.fleet.Fleet`, not a single engine) before the
     :class:`Campaign`-dataclass flow.  *backend*, when given, overrides
     the campaign's configured TEE backend — every campaign must hold
-    its two-sided verdict under every backend.
+    its three-sided verdict under every backend.
     """
     from repro.chaos.fleet import FLEET_CAMPAIGN, run_fleet_campaign
     if name == FLEET_CAMPAIGN:

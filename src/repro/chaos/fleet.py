@@ -15,8 +15,12 @@ sides of the production verdict while the world breaks around it:
   after the drain, forcing the remaining source victim through
   recovery as well.
 
-The verdict is the same two-sided one the single-machine campaigns
-demand.  Migration makes the epoch-aware half of
+The verdict is the same three-sided one the single-machine campaigns
+demand — security, fairness, and detection: both fleets run with a
+shared :class:`~repro.obs.timeseries.TimeSeriesSampler` (per-tenant
+series keep machines apart; the kernel attach is idempotent), and every
+injected fault must surface as a matching audit event or SLO alert
+within the detection bound.  Migration makes the epoch-aware half of
 :meth:`~repro.chaos.workload.VictimPlan.checks` do real work: rounds
 whose upload served on the source and whose download served on the
 target span session epochs, so they must read the *cleansed* target
@@ -37,11 +41,15 @@ from repro.chaos.campaign import (
     _trap_escape_checks,
     _victim_quota,
 )
+from repro.chaos.detection import match_detections, victim_latency_target
 from repro.chaos.faults import DmaRedirectFault, Fault, GpuResetFault
 from repro.chaos.injector import FaultInjector
 from repro.chaos.workload import VictimPlan, submit_victim_stream
 from repro.fleet import Fleet, FleetReport
 from repro.obs import metrics as obs_metrics
+from repro.obs.audit import audit_log
+from repro.obs.slo import AlertManager, SloObjective
+from repro.obs.timeseries import TimeSeriesSampler
 from repro.serve.resilience import (
     KIND_CRYPTO,
     KIND_DEVICE_LOST,
@@ -57,7 +65,7 @@ FLEET_CAMPAIGN = "fleet-migration"
 FLEET_CAMPAIGN_DESCRIPTION = (
     "Two machines, four victims, one drained mid-run and re-established "
     "on the other machine while DMA traps fire on both and a GPU reset "
-    "hits the source; two-sided verdict across the whole fleet.")
+    "hits the source; three-sided verdict across the whole fleet.")
 
 #: Campaign shape.  Timings are virtual seconds, calibrated against the
 #: victim streams at this inflation: with two tenants per machine the
@@ -78,6 +86,11 @@ MIGRATE_AT = 20.5e-3
 RESET_AT = 21.5e-3
 FAIRNESS_BOUND = 6.0
 GOODPUT_FLOOR = 0.85
+#: The stay-behind source victim rides out two recovery cycles (DMA
+#: trap, then the reset), so under gpu-cc — whose re-establishment
+#: round trips are the slowest — nothing probes the reset device until
+#: its retry backoff expires, ~23 virtual ms after the fault.
+DETECTION_BOUND = 25.0e-3
 #: GPU-CC session establishment (cert-chain verification + the report
 #: round trip) runs longer than HIX's, so the whole live window lands
 #: later; every scripted time shifts by the same offset to stay inside
@@ -170,10 +183,24 @@ def run_fleet_campaign(seed: int = 0,
     :func:`~repro.chaos.campaign.run_campaign_obj`."""
     obs_metrics.registry().counter("chaos.campaigns_run").inc()
 
+    base_sampler = TimeSeriesSampler()
     baseline_fleet, _ = _build_fleet(seed, backend)
+    for machine in baseline_fleet.machines:
+        machine.engine.telemetry = base_sampler
     baseline = baseline_fleet.run()
 
+    objectives: Dict[str, SloObjective] = {}
+    for index in range(VICTIMS):
+        name = f"victim{index}"
+        target_latency = victim_latency_target(base_sampler, name)
+        if target_latency is not None:
+            objectives[name] = SloObjective(availability=0.995,
+                                            latency_target=target_latency)
+
+    chaos_sampler = TimeSeriesSampler()
     fleet, plans = _build_fleet(seed, backend)
+    for machine in fleet.machines:
+        machine.engine.telemetry = chaos_sampler
     migrating = "victim0"
     source = fleet.router.machine_of(migrating)
     assert source is not None
@@ -185,7 +212,16 @@ def run_fleet_campaign(seed: int = 0,
     kernel = EventClock()
     for machine, injector in zip(fleet.machines, injectors):
         injector.attach(machine.engine, kernel)
+    watermark = audit_log().cursor()
     chaos = fleet.run(kernel=kernel)
+
+    manager = AlertManager(chaos_sampler, objectives, audit=audit_log())
+    manager.evaluate()
+    slo_report = manager.report()
+    all_faults = [fault for faults in script for fault in faults]
+    detection = match_detections(
+        all_faults, audit_log().events_since(watermark),
+        slo_report.alerts, DETECTION_BOUND)
 
     security: List[SecurityCheck] = []
     for plan in plans:
@@ -236,9 +272,12 @@ def run_fleet_campaign(seed: int = 0,
 
     return CampaignResult(
         campaign=FLEET_CAMPAIGN, seed=seed,
-        faults=[fault for faults in script for fault in faults],
+        faults=all_faults,
         security=security, fairness=fairness,
         baseline=baseline.merged, chaos=chaos.merged,
         fairness_bound=FAIRNESS_BOUND,
         goodput_floor=GOODPUT_FLOOR,
-        backend=backend)
+        backend=backend,
+        detection=detection,
+        detection_bound=DETECTION_BOUND,
+        alerts=slo_report.alerts)

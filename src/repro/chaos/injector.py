@@ -11,9 +11,12 @@ chaos layer is then bit-for-bit invisible (pinned by
 ``tests/property/test_prop_chaos_noop.py``).
 
 Fault firings are observable: each increments ``chaos.faults_injected``
-and ``chaos.fault.<kind>`` in the metrics registry and, when the span
-tracer is active, drops a zero-duration ``chaos.<kind>`` marker event
-at the fire time so exported traces show exactly when the world broke.
+and ``chaos.fault.<kind>`` in the metrics registry, appends a
+``chaos.injected`` ground-truth record to the security audit log (the
+reference the detection verdict measures latency against — never
+evidence of detection itself), and, when the span tracer is active,
+drops a zero-duration ``chaos.<kind>`` marker event at the fire time so
+exported traces show exactly when the world broke.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.chaos.faults import (
     StarvationFault,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs.audit import audit_log
 from repro.obs.tracer import STATE as _OBS
 from repro.sim.engine import EventClock
 
@@ -75,6 +79,10 @@ class FaultInjector:
                 fault.apply(ctx)
                 registry.counter("chaos.faults_injected").inc()
                 registry.counter(f"chaos.fault.{fault.kind}").inc()
+                audit_log().record(
+                    "chaos.injected", fault.tenant or "machine",
+                    time=event.time, ok=False, detail=fault.label,
+                    fault_kind=fault.kind)
                 tracer = _OBS.tracer
                 if tracer is not None:
                     tracer.event(f"chaos.{fault.kind}", "chaos",

@@ -235,10 +235,16 @@ def cmd_metrics(args) -> int:
     """Run a workload, then print the metrics registry snapshot."""
     from repro.evalkit.harness import run_single
     from repro.obs import metrics as obs_metrics
+    from repro.obs.timeseries import TimeSeriesSampler
     from repro.system import Machine, MachineConfig
     obs_metrics.reset_registry()
     workload = _workload_by_name(args.workload)
     machine = Machine(MachineConfig(data_inflation=args.inflation))
+    sampler = None
+    if args.window:
+        sampler = TimeSeriesSampler(width=args.window * 1e-3,
+                                    registry=obs_metrics.registry())
+        sampler.attach(machine.clock)
     run_single(workload, args.mode, args.inflation, machine=machine)
     registry = obs_metrics.registry()
     if args.json:
@@ -246,6 +252,17 @@ def cmd_metrics(args) -> int:
         print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
     else:
         print(registry.render())
+    if sampler is not None:
+        sampler.finalize(machine.clock.now)
+        print()
+        print(f"windowed rates ({args.window:g} ms windows):")
+        for name in sampler.names():
+            series = sampler.counter_rate_series(name)
+            if not any(rate for _, rate in series):
+                continue
+            points = "  ".join(f"{start * 1e3:.1f}ms:{rate:,.0f}/s"
+                               for start, rate in series if rate)
+            print(f"  {name:<36} {points}")
     return 0
 
 
@@ -291,8 +308,76 @@ def cmd_validate(args) -> int:
     return 0 if report.all_hold else 1
 
 
+def cmd_slo(args) -> int:
+    """Serve a workload with telemetry, evaluate SLOs, report budgets."""
+    from repro.evalkit.serve_sweep import serve_run
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.audit import audit_log, reset_audit_log
+    from repro.obs.dashboard import export_dashboard
+    from repro.obs.slo import AlertManager, SloObjective
+    from repro.obs.timeseries import TimeSeriesSampler
+    obs_metrics.reset_registry()
+    reset_audit_log()
+    workload = _workload_by_name(args.workload)
+    sampler = TimeSeriesSampler(width=args.window * 1e-3,
+                                registry=obs_metrics.registry())
+    report = serve_run(workload, args.users, scheduler=args.scheduler,
+                       inflation=args.inflation, backend=args.backend,
+                       telemetry=sampler)
+    objective = SloObjective(
+        availability=args.availability,
+        latency_target=(args.latency_target_ms * 1e-3
+                        if args.latency_target_ms is not None else None))
+    manager = AlertManager(
+        sampler,
+        {f"user{index}": objective for index in range(args.users)},
+        audit=audit_log())
+    slo_report = manager.report()
+    print(report.render())
+    print()
+    print(slo_report.render())
+    if args.dashboard:
+        paths = export_dashboard(args.dashboard, sampler, report=slo_report,
+                                 audit=audit_log(),
+                                 title=f"{workload.name} x{args.users} "
+                                       f"({args.backend})")
+        print()
+        for kind, path in sorted(paths.items()):
+            print(f"  wrote {kind}: {path}")
+    if args.expect_alert:
+        fired = len(slo_report.alerts)
+        print(f"\nexpected >= 1 alert: {fired} fired "
+              f"-> {'OK' if fired else 'MISSING'}")
+        return 0 if fired else 1
+    return 0
+
+
+def cmd_alerts(args) -> int:
+    """Run a chaos campaign; print its alert/audit timeline and the
+    detection verdict (exit status follows detection)."""
+    from repro.chaos import run_campaign
+    from repro.obs.audit import audit_log
+    result = run_campaign(args.campaign, seed=args.seed,
+                          backend=args.backend)
+    print(f"campaign '{result.campaign}' (seed={result.seed}, "
+          f"backend={result.backend})")
+    print(f"\nalerts ({len(result.alerts)}):")
+    for alert in result.alerts:
+        print(f"  {alert.render()}")
+    if not result.alerts:
+        print("  none")
+    print(f"\ndetection (bound {result.detection_bound * 1e3:.1f} ms):")
+    for check in result.detection:
+        print(f"  {check.render()}")
+    print("\naudit tail:")
+    print(audit_log().render(limit=args.audit_tail))
+    print(f"\ndetection verdict: "
+          f"{'PASS' if result.detection_ok else 'FAIL'}")
+    return 0 if result.detection_ok else 1
+
+
 def cmd_chaos(args) -> int:
-    """Run a named chaos campaign and print the two-sided verdict."""
+    """Run a named chaos campaign and print the three-sided verdict."""
     from repro.chaos import campaign_catalog, run_campaign
     if args.list:
         catalog = campaign_catalog()
@@ -445,12 +530,51 @@ def build_parser() -> argparse.ArgumentParser:
                          default=DEFAULT_INFLATION)
     metrics.add_argument("--json", action="store_true",
                          help="print the snapshot as JSON")
+    metrics.add_argument("--window", type=float, default=0.0,
+                         help="also print windowed counter rates at this "
+                              "virtual-time window width (ms); 0 = off")
     metrics.set_defaults(fn=cmd_metrics)
+
+    slo = sub.add_parser(
+        "slo", help="serve a workload with windowed telemetry and "
+        "evaluate per-tenant SLOs (error budgets, burn rates, alerts)")
+    slo.add_argument("--workload", default="backprop")
+    slo.add_argument("--users", type=int, default=2)
+    slo.add_argument("--scheduler", choices=["fifo", "rr", "fair"],
+                     default="fair")
+    slo.add_argument("--inflation", type=float, default=DEFAULT_INFLATION)
+    slo.add_argument("--backend", choices=["hix", "gpucc"], default="hix")
+    slo.add_argument("--window", type=float, default=1.0,
+                     help="window width in virtual milliseconds")
+    slo.add_argument("--availability", type=float, default=0.999,
+                     help="availability objective (0-1)")
+    slo.add_argument("--latency-target-ms", type=float, default=None,
+                     help="p99 latency target in virtual ms (None = off)")
+    slo.add_argument("--dashboard", default=None, metavar="DIR",
+                     help="export timeseries.json + dashboard.html + "
+                          "audit.jsonl to DIR")
+    slo.add_argument("--expect-alert", action="store_true",
+                     help="exit nonzero unless at least one alert fired "
+                          "(CI smoke for the alert pipeline)")
+    slo.set_defaults(fn=cmd_slo)
+
+    alerts = sub.add_parser(
+        "alerts", help="run a chaos campaign and print its alert/audit "
+        "timeline plus the fault-detection verdict")
+    alerts.add_argument("--campaign", default="smoke")
+    alerts.add_argument("--seed", type=int, default=0)
+    alerts.add_argument("--backend", choices=["hix", "gpucc"],
+                        default=None)
+    alerts.add_argument("--audit-tail", type=int, default=40,
+                        help="audit events to print")
+    alerts.set_defaults(fn=cmd_alerts)
 
     chaos = sub.add_parser(
         "chaos", help="run a fault-injection campaign against the "
-        "serving stack and assert the two-sided verdict "
-        "(security holds AND victim service quality holds)")
+        "serving stack and assert the three-sided verdict "
+        "(security holds AND victim service quality holds AND every "
+        "fault is detected by an alert or audit event in bounded "
+        "virtual time)")
     chaos.add_argument("--campaign", default="churn-reset",
                        help="campaign name (see --list)")
     chaos.add_argument("--seed", type=int, default=0)

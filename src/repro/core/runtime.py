@@ -147,9 +147,31 @@ class HixApi:
         """Attested session setup + 3-party key exchange (Section 4.4.1)."""
         tracer = _OBS.tracer
         if tracer is None:
-            return self._cuCtxCreate()
+            return self._audited_ctx_create()
         with tracer.span("hix.cuCtxCreate", "hix", pid=self._process.pid):
-            return self._cuCtxCreate()
+            return self._audited_ctx_create()
+
+    def _audited_ctx_create(self) -> "HixApi":
+        """Session setup with its security evidence on the audit log:
+        the mutual local-attestation verdict and the key exchange."""
+        from repro.obs.audit import audit_log
+        log = audit_log()
+        subject = self._process.name
+        now = self._clock.now if self._clock is not None else 0.0
+        try:
+            result = self._cuCtxCreate()
+        except AttestationError as exc:
+            log.record("hix.attestation", subject, time=now, ok=False,
+                       detail=str(exc), cause="report", backend="hix")
+            raise
+        now = self._clock.now if self._clock is not None else now
+        log.record("hix.attestation", subject, time=now,
+                   detail="GPU enclave report and identity verified "
+                          "(mutual local attestation)", backend="hix")
+        log.record("hix.key_exchange", subject, time=now,
+                   detail="3-party DH session key derived", backend="hix",
+                   ctx_id=self._ctx_id)
+        return result
 
     def _cuCtxCreate(self) -> "HixApi":
         if self._end is not None:

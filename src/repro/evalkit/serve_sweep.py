@@ -52,7 +52,8 @@ def serve_run(workload: Workload, num_users: int,
               crypto_efficiency: Optional[float] = None,
               machine: Optional[Machine] = None,
               fast_path: bool = True,
-              backend: str = "hix") -> ServeReport:
+              backend: str = "hix",
+              telemetry=None) -> ServeReport:
     """One serving run: *num_users* tenants, each submitting *workload*.
 
     Builds a fresh machine (unless *machine* is supplied — profiling
@@ -60,7 +61,9 @@ def serve_run(workload: Workload, num_users: int,
     a supplied machine's configured TEE backend wins over *backend*),
     admits ``user0..userN-1`` with *quota* (default :data:`SWEEP_QUOTA`),
     decomposes the workload into each tenant's request stream, and runs
-    the engine.
+    the engine.  *telemetry* (a
+    :class:`~repro.obs.timeseries.TimeSeriesSampler`) attaches windowed
+    time-series collection to the run without perturbing it.
     """
     if machine is None:
         config = MachineConfig(data_inflation=inflation, backend=backend)
@@ -72,7 +75,8 @@ def serve_run(workload: Workload, num_users: int,
                          max_tenants=max(num_users, 1),
                          default_quota=quota or SWEEP_QUOTA,
                          crypto_efficiency=crypto_efficiency,
-                         fast_path=fast_path)
+                         fast_path=fast_path,
+                         telemetry=telemetry)
     for index in range(num_users):
         client = engine.add_tenant(f"user{index}")
         submit_workload(client, workload, inflation, machine.costs,

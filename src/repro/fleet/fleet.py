@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.fleet.lite import LiteProfile
 from repro.fleet.router import MachineStatus, Placement, Router, SessionSpec
 from repro.obs import metrics as obs_metrics
+from repro.obs.audit import audit_log
 from repro.obs.tracer import span as _span
 from repro.serve.engine import ServeEngine, TenantClient
 from repro.serve.queues import ServeRequest
@@ -237,8 +238,21 @@ class Fleet:
         return [machine.status() for machine in self.machines]
 
     def place(self, spec: SessionSpec) -> FleetMachine:
-        """Route *spec* through the placement policy; book its costs."""
-        index = self.router.place(spec, self.statuses())
+        """Route *spec* through the placement policy; book its costs.
+
+        Every decision lands in the registry as a per-policy outcome
+        counter (``fleet.placement.<policy>.placed`` / ``.rejected``),
+        so a dashboard can tell a router that is admitting from one
+        that is bouncing sessions at the door.
+        """
+        registry = obs_metrics.registry()
+        policy = self.router.policy_name
+        try:
+            index = self.router.place(spec, self.statuses())
+        except Exception:
+            registry.counter(f"fleet.placement.{policy}.rejected").inc()
+            raise
+        registry.counter(f"fleet.placement.{policy}.placed").inc()
         chosen = self.machines[index]
         chosen.reserved_bytes += spec.memory_bytes
         if spec.lite:
@@ -262,6 +276,9 @@ class Fleet:
             chosen.reserved_bytes -= spec.memory_bytes
             chosen.est_seconds -= spec.est_seconds
             self.router.forget(name)
+            obs_metrics.registry().counter(
+                f"fleet.placement.{self.router.policy_name}"
+                ".rolled_back").inc()
             raise
         return client
 
@@ -359,6 +376,21 @@ class Fleet:
             self.router.placements[plan.tenant] = Placement(
                 spec=SessionSpec(name=plan.tenant), machine=plan.target)
             registry.counter("fleet.migrations.completed").inc()
+            drain_seconds = record.drained_at - plan.at
+            registry.histogram("fleet.migration.drain_seconds").observe(
+                drain_seconds)
+            registry.counter("fleet.migration.requests_moved").inc(
+                len(remaining))
+            audit_log().record(
+                "fleet.migration", plan.tenant, time=record.landed_at,
+                detail=(f"drained off {source.name} in "
+                        f"{drain_seconds * 1e3:.3f} ms, re-established "
+                        f"on {target.name} at epoch "
+                        f"{landed.session_epoch} with "
+                        f"{len(remaining)} request(s) moved"),
+                source=source.name, target=target.name,
+                epoch=landed.session_epoch,
+                requests_moved=len(remaining))
 
         def begin(event, client: TenantClient = client) -> None:
             source.draining = True

@@ -21,16 +21,31 @@ Tracing is opt-in and zero-cost when disabled (see
 span model, the category taxonomy, and the exporter formats.
 """
 
+from repro.obs.audit import (
+    AuditEvent,
+    AuditLog,
+    audit_log,
+    reset_audit_log,
+    set_audit_log,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
     registry,
     reset_registry,
     set_registry,
 )
+from repro.obs.slo import (
+    Alert,
+    AlertManager,
+    SloObjective,
+    SloReport,
+)
+from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.tracer import (
     NULL_SPAN,
     STATE,
@@ -47,6 +62,10 @@ __all__ = [
     "Span", "SpanTracer", "NULL_SPAN", "STATE",
     "tracer", "set_tracer", "enable", "disable", "span",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS", "bucket_quantile",
     "registry", "set_registry", "reset_registry",
+    "TimeSeriesSampler",
+    "SloObjective", "Alert", "AlertManager", "SloReport",
+    "AuditEvent", "AuditLog",
+    "audit_log", "set_audit_log", "reset_audit_log",
 ]

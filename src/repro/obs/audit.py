@@ -1,0 +1,152 @@
+"""Append-only, causally-ordered security audit log.
+
+The chaos harness proves security by *asserting* invariants after the
+fact; a production confidential-computing deployment must also produce
+**evidence** while it runs — attestation verdicts (including cert-chain
+failures, per backend), key exchanges, session epoch bumps, cleanse
+checks, IOMMU/firewall traps, migrations, GPU resets.  This module is
+that evidence stream: one process-wide :class:`AuditLog`, mirroring the
+metrics registry's lifecycle (``audit_log()`` / ``set_audit_log()`` /
+``reset_audit_log()``), recording :class:`AuditEvent` entries in causal
+(append) order with their virtual timestamps.
+
+Events link to the span tree: when the tracer is enabled, each record
+captures the innermost open span's name, so an exported audit trail can
+be joined against the exported trace.  Recording never touches any
+clock — like the time-series sampler, the log is a pure observer and
+cannot perturb simulated time.
+
+The chaos detection verdict (:mod:`repro.chaos.detection`) consumes
+this log: ``cursor()`` marks a watermark before the chaos run, and
+``events_since()`` scopes the match to events the faults caused.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "AuditEvent", "AuditLog",
+    "audit_log", "set_audit_log", "reset_audit_log",
+]
+
+
+@dataclass
+class AuditEvent:
+    """One security-relevant event on the virtual timeline."""
+
+    seq: int
+    time: float
+    kind: str
+    subject: str
+    ok: bool = True
+    detail: str = ""
+    span: Optional[str] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "seq": self.seq, "time": self.time, "kind": self.kind,
+            "subject": self.subject, "ok": self.ok,
+        }
+        if self.detail:
+            record["detail"] = self.detail
+        if self.span is not None:
+            record["span"] = self.span
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    def render(self) -> str:
+        verdict = "ok" if self.ok else "FAIL"
+        extra = "".join(f" {key}={value}"
+                        for key, value in sorted(self.attrs.items()))
+        detail = f" — {self.detail}" if self.detail else ""
+        return (f"[{self.seq:4d}] t={self.time * 1e3:9.3f}ms "
+                f"{self.kind:<28} {self.subject:<16} {verdict}"
+                f"{extra}{detail}")
+
+
+class AuditLog:
+    """Append-only event list; ``seq`` is the causal order."""
+
+    def __init__(self) -> None:
+        self._events: List[AuditEvent] = []
+
+    def record(self, kind: str, subject: str, *, time: float,
+               ok: bool = True, detail: str = "",
+               **attrs) -> AuditEvent:
+        from repro.obs.tracer import STATE
+        span = None
+        tracer = STATE.tracer
+        if tracer is not None and tracer._stack:
+            span = tracer._stack[-1].name
+        event = AuditEvent(seq=len(self._events), time=time, kind=kind,
+                           subject=subject, ok=ok, detail=detail,
+                           span=span, attrs=attrs)
+        self._events.append(event)
+        return event
+
+    # -- reading -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AuditEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[AuditEvent]:
+        return list(self._events)
+
+    def cursor(self) -> int:
+        """Watermark for :meth:`events_since`."""
+        return len(self._events)
+
+    def events_since(self, mark: int) -> List[AuditEvent]:
+        return self._events[mark:]
+
+    def filter(self, kind: Optional[str] = None,
+               subject: Optional[str] = None,
+               since: int = 0) -> List[AuditEvent]:
+        return [event for event in self._events[since:]
+                if (kind is None or event.kind == kind)
+                and (subject is None or event.subject == subject)]
+
+    # -- export --------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(event.to_dict(), sort_keys=True)
+                         for event in self._events) + (
+                             "\n" if self._events else "")
+
+    def render(self, limit: Optional[int] = None) -> str:
+        events = self._events if limit is None else self._events[-limit:]
+        if not events:
+            return "(audit log empty)"
+        return "\n".join(event.render() for event in events)
+
+
+_AUDIT = AuditLog()
+
+
+def audit_log() -> AuditLog:
+    """The active process-wide audit log."""
+    return _AUDIT
+
+
+def set_audit_log(new: AuditLog) -> AuditLog:
+    """Swap the active log; returns the previous one (for tests)."""
+    global _AUDIT
+    previous = _AUDIT
+    _AUDIT = new
+    return previous
+
+
+def reset_audit_log() -> AuditLog:
+    """Install a fresh empty log; returns it."""
+    new = AuditLog()
+    set_audit_log(new)
+    return new

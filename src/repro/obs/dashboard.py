@@ -1,0 +1,222 @@
+"""Dashboard export: time-series JSON + a self-contained HTML report.
+
+The HTML is dependency-free — inline CSS and hand-built SVG polylines,
+no JavaScript, no CDN fetches — so the artifact a CI run uploads opens
+anywhere, forever.  Panels: per-tenant windowed latency quantiles,
+per-tenant error-budget burn (good/bad rates), the alert timeline, and
+the tail of the audit log.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.audit import AuditLog
+from repro.obs.slo import SloReport, latency_series
+from repro.obs.timeseries import TimeSeriesSampler
+
+__all__ = ["export_dashboard", "render_html"]
+
+#: Colorblind-safe panel palette (Okabe–Ito).
+_PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7",
+            "#E69F00", "#56B4E9", "#F0E442", "#000000")
+
+_WIDTH = 640
+_HEIGHT = 180
+_PAD = 36
+
+
+def _polyline(series: Sequence[Tuple[float, float]],
+              t_lo: float, t_hi: float, v_lo: float, v_hi: float,
+              color: str) -> str:
+    t_span = (t_hi - t_lo) or 1.0
+    v_span = (v_hi - v_lo) or 1.0
+    points = " ".join(
+        f"{_PAD + (t - t_lo) / t_span * (_WIDTH - 2 * _PAD):.1f},"
+        f"{_HEIGHT - _PAD - (v - v_lo) / v_span * (_HEIGHT - 2 * _PAD):.1f}"
+        for t, v in series)
+    return (f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+            f'points="{points}"/>')
+
+
+def _panel(title: str,
+           named_series: List[Tuple[str, List[Tuple[float, float]]]],
+           unit: str = "", scale: float = 1.0) -> str:
+    """One SVG chart over every (label, [(t, v), ...]) series."""
+    populated = [(label, [(t, v * scale) for t, v in series])
+                 for label, series in named_series if series]
+    if not populated:
+        return (f"<section><h2>{html.escape(title)}</h2>"
+                f"<p class='empty'>(no data)</p></section>")
+    all_points = [point for _, series in populated for point in series]
+    t_lo = min(t for t, _ in all_points)
+    t_hi = max(t for t, _ in all_points)
+    v_lo = min(0.0, min(v for _, v in all_points))
+    v_hi = max(v for _, v in all_points) or 1.0
+    lines = [
+        f'<svg viewBox="0 0 {_WIDTH} {_HEIGHT}" class="panel">',
+        f'<line x1="{_PAD}" y1="{_HEIGHT - _PAD}" x2="{_WIDTH - _PAD}" '
+        f'y2="{_HEIGHT - _PAD}" stroke="#999"/>',
+        f'<line x1="{_PAD}" y1="{_PAD}" x2="{_PAD}" '
+        f'y2="{_HEIGHT - _PAD}" stroke="#999"/>',
+        f'<text x="{_PAD}" y="{_HEIGHT - _PAD + 14}" class="axis">'
+        f'{t_lo * 1e3:.1f}ms</text>',
+        f'<text x="{_WIDTH - _PAD}" y="{_HEIGHT - _PAD + 14}" '
+        f'class="axis" text-anchor="end">{t_hi * 1e3:.1f}ms</text>',
+        f'<text x="{_PAD - 4}" y="{_PAD}" class="axis" '
+        f'text-anchor="end">{v_hi:.3g}{unit}</text>',
+        f'<text x="{_PAD - 4}" y="{_HEIGHT - _PAD}" class="axis" '
+        f'text-anchor="end">{v_lo:.3g}</text>',
+    ]
+    legend = []
+    for slot, (label, series) in enumerate(populated):
+        color = _PALETTE[slot % len(_PALETTE)]
+        lines.append(_polyline(series, t_lo, t_hi, v_lo, v_hi, color))
+        legend.append(f'<span style="color:{color}">&#9632; '
+                      f'{html.escape(label)}</span>')
+    lines.append("</svg>")
+    return (f"<section><h2>{html.escape(title)}</h2>"
+            f"<p class='legend'>{' '.join(legend)}</p>"
+            f"{''.join(lines)}</section>")
+
+
+def _tenants_of(sampler: TimeSeriesSampler) -> List[str]:
+    prefix = latency_series("")
+    return sorted(name[len(prefix):] for name in sampler.names()
+                  if name.startswith(prefix))
+
+
+def render_html(sampler: TimeSeriesSampler,
+                report: Optional[SloReport] = None,
+                audit: Optional[AuditLog] = None,
+                title: str = "repro telemetry") -> str:
+    tenants = _tenants_of(sampler)
+    sections = []
+
+    latency_panels = []
+    for q, label in ((0.50, "p50"), (0.99, "p99")):
+        for tenant in tenants:
+            latency_panels.append(
+                (f"{tenant} {label}",
+                 sampler.quantile_series(latency_series(tenant), q)))
+    sections.append(_panel("Per-tenant windowed latency (ms)",
+                           latency_panels, unit="ms", scale=1e3))
+
+    rate_panels = []
+    for tenant in tenants:
+        rate_panels.append((f"{tenant} good",
+                            sampler.rate_series(f"serve.good.{tenant}")))
+        rate_panels.append((f"{tenant} bad",
+                            sampler.rate_series(f"serve.bad.{tenant}")))
+    sections.append(_panel("Per-tenant request rate (req/s)", rate_panels,
+                           unit="/s"))
+
+    if report is not None:
+        rows = ["<table><tr><th>tenant</th><th>requests</th>"
+                "<th>availability</th><th>budget</th><th>latency</th>"
+                "<th>alerts</th></tr>"]
+        for row in report.tenants:
+            availability = row.availability_achieved
+            budget = row.budget_consumed
+            quantile = row.latency_quantile
+            rows.append(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>"
+                "<td>{}</td><td>{}</td></tr>".format(
+                    html.escape(row.tenant), int(row.total),
+                    "-" if availability is None
+                    else f"{availability:.4f}",
+                    "-" if budget is None else f"{budget * 100:.1f}%",
+                    "-" if quantile is None
+                    else f"{quantile * 1e3:.3f}ms",
+                    row.alerts))
+        rows.append("</table>")
+        sections.append("<section><h2>SLO budgets</h2>"
+                        + "".join(rows) + "</section>")
+        if report.alerts:
+            items = "".join(
+                f"<li class='{'firing' if alert.firing else 'resolved'}'>"
+                f"{html.escape(alert.render())}</li>"
+                for alert in report.alerts)
+            sections.append(f"<section><h2>Alerts</h2><ul>{items}</ul>"
+                            "</section>")
+        else:
+            sections.append("<section><h2>Alerts</h2>"
+                            "<p class='empty'>none fired</p></section>")
+
+    if audit is not None and len(audit):
+        items = "".join(f"<li class='{'ok' if event.ok else 'bad'}'>"
+                        f"{html.escape(event.render())}</li>"
+                        for event in audit.events[-60:])
+        sections.append(f"<section><h2>Audit log (tail)</h2>"
+                        f"<ul class='audit'>{items}</ul></section>")
+
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>
+body {{ font: 13px/1.45 -apple-system, "Segoe UI", sans-serif;
+        margin: 2em auto; max-width: 720px; color: #222; }}
+h1 {{ font-size: 1.3em; }} h2 {{ font-size: 1.05em; margin-bottom: .2em; }}
+svg.panel {{ width: 100%; border: 1px solid #ddd; background: #fafafa; }}
+text.axis {{ font-size: 10px; fill: #666; }}
+.legend {{ margin: .2em 0; font-size: 12px; }}
+.empty {{ color: #999; }}
+table {{ border-collapse: collapse; }} td, th {{ border: 1px solid #ccc;
+        padding: 2px 8px; text-align: right; }}
+th:first-child, td:first-child {{ text-align: left; }}
+ul {{ padding-left: 1.2em; }} li {{ font-family: monospace;
+        font-size: 11px; white-space: pre; }}
+li.firing {{ color: #b00; }} li.bad {{ color: #b00; }}
+</style></head>
+<body><h1>{html.escape(title)}</h1>
+{''.join(sections)}
+</body></html>
+"""
+
+
+def export_dashboard(directory, sampler: TimeSeriesSampler,
+                     report: Optional[SloReport] = None,
+                     audit: Optional[AuditLog] = None,
+                     title: str = "repro telemetry") -> Dict[str, Path]:
+    """Write ``timeseries.json``, ``dashboard.html``, and (when an
+    audit log is given) ``audit.jsonl`` under *directory*; returns the
+    written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    payload: Dict[str, object] = {"title": title,
+                                  "timeseries": sampler.to_dict()}
+    if report is not None:
+        payload["slo"] = {
+            "ok": report.ok,
+            "tenants": [{
+                "tenant": row.tenant,
+                "requests": row.total,
+                "availability": row.availability_achieved,
+                "budget_consumed": row.budget_consumed,
+                "latency_quantile": row.latency_quantile,
+                "alerts": row.alerts,
+            } for row in report.tenants],
+            "alerts": [{
+                "rule": alert.rule, "tenant": alert.tenant,
+                "firing_at": alert.firing_at,
+                "resolved_at": alert.resolved_at,
+                "cause": alert.cause,
+            } for alert in report.alerts],
+        }
+    json_path = directory / "timeseries.json"
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    written["timeseries"] = json_path
+
+    html_path = directory / "dashboard.html"
+    html_path.write_text(render_html(sampler, report, audit, title))
+    written["dashboard"] = html_path
+
+    if audit is not None:
+        audit_path = directory / "audit.jsonl"
+        audit_path.write_text(audit.to_jsonl())
+        written["audit"] = audit_path
+    return written

@@ -24,11 +24,13 @@ Design points:
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter", "Gauge", "CallbackGauge", "Histogram", "MetricsRegistry",
-    "DEFAULT_LATENCY_BUCKETS", "registry", "set_registry", "reset_registry",
+    "DEFAULT_LATENCY_BUCKETS", "bucket_quantile",
+    "registry", "set_registry", "reset_registry",
 ]
 
 #: Explicit upper bounds (seconds) for latency histograms: 1 µs .. 10 s.
@@ -85,6 +87,53 @@ class CallbackGauge:
         return self.fn()
 
 
+def bucket_quantile(bounds: Sequence[float], counts: Sequence[int],
+                    q: float, lo: Optional[float] = None,
+                    hi: Optional[float] = None) -> Optional[float]:
+    """Estimate the *q*-quantile of a bucketed distribution.
+
+    Inverted-CDF with linear interpolation inside the bucket that holds
+    the target rank: the estimate always lands inside that bucket, so
+    the error is bounded by its width.  ``lo``/``hi`` are the observed
+    min/max (when known): they clamp the estimate and replace the open
+    edges — the lower edge of the first bucket and the upper edge of
+    the overflow bucket — which would otherwise have to be guessed.
+    Returns ``None`` for an empty distribution.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    # Rank of the target observation under the inverted CDF: the
+    # smallest x with CDF(x) >= q, i.e. the ceil(q*n)-th observation
+    # (1-based), clamped to at least the first.
+    rank = max(1, math.ceil(q * total))
+    floor = lo if lo is not None else 0.0
+    cumulative = 0
+    for index, count in enumerate(counts):
+        if count == 0:
+            cumulative += count
+            continue
+        if cumulative + count >= rank:
+            lower = bounds[index - 1] if index > 0 else floor
+            if index < len(bounds):
+                upper = bounds[index]
+            else:  # overflow bucket: closed only by the observed max
+                upper = hi if hi is not None else bounds[-1]
+            lower = max(lower, floor)
+            upper = max(upper, lower)
+            fraction = (rank - cumulative) / count
+            estimate = lower + fraction * (upper - lower)
+            if lo is not None:
+                estimate = max(estimate, lo)
+            if hi is not None:
+                estimate = min(estimate, hi)
+            return estimate
+        cumulative += count
+    return hi  # unreachable while sum(counts) == total
+
+
 class Histogram:
     """Explicit-bucket histogram (cumulative counts at export time).
 
@@ -125,6 +174,12 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated *q*-quantile (see :func:`bucket_quantile`),
+        clamped to the observed ``[min, max]``."""
+        return bucket_quantile(self.buckets, self.counts, q,
+                               lo=self.min, hi=self.max)
 
     def snapshot(self) -> Dict[str, object]:
         return {

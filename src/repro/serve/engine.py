@@ -69,6 +69,16 @@ from repro.errors import (
     RequestRejected,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs.audit import audit_log
+from repro.obs.slo import (
+    SloObjective,
+    bad_series,
+    good_series,
+    latency_series,
+    shed_series,
+    timeout_series,
+)
+from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.tracer import span as _span
 from repro.serve.queues import (
     BACKPRESSURE,
@@ -91,8 +101,11 @@ from repro.serve.report import (
 )
 from repro.serve.resilience import (
     KIND_CIRCUIT_OPEN,
+    KIND_CRYPTO,
+    KIND_DEVICE_LOST,
     KIND_QUEUE_FULL,
     KIND_QUOTA,
+    KIND_REJECTED,
     KIND_TIMEOUT,
     BREAKER_KINDS,
     RECOVERY_KINDS,
@@ -113,6 +126,13 @@ from repro.sim.trace import TraceEvent
 #: serve dispatch) is host-side work that overlaps across tenants.
 GPU_ENGINE_CATEGORIES = frozenset({"gpu_compute", "gpu_dispatch",
                                    "crypto_gpu"})
+
+#: Request-failure kinds that are security evidence: the sealed
+#: protocol or the device detected tampering/loss, so the failure is
+#: recorded on the audit log (the chaos detection verdict matches
+#: injected faults against these records).
+SECURITY_FAILURE_KINDS = frozenset({KIND_CRYPTO, KIND_DEVICE_LOST,
+                                    KIND_REJECTED, "driver"})
 
 _UNSET = object()
 
@@ -285,7 +305,8 @@ class ServeEngine:
                  retry_policy: Optional[RetryPolicy] = None,
                  breaker: Optional[BreakerConfig] = None,
                  seed: int = 0,
-                 capture_units: bool = False) -> None:
+                 capture_units: bool = False,
+                 telemetry: Optional[TimeSeriesSampler] = None) -> None:
         self._machine = machine
         self._service = (service if service is not None
                          else machine.boot_secure())
@@ -307,6 +328,13 @@ class ServeEngine:
         #: Tee every tenant's charged units into
         #: ``client.captured_units`` (lite-session profile capture).
         self.capture_units = capture_units
+        #: Windowed time-series sampler (repro.obs.timeseries).  When
+        #: set, the engine attaches it to the run's kernel and records
+        #: per-request outcome marks and completion latencies at their
+        #: virtual times.  Pure observation: a telemetry-enabled run is
+        #: bit-identical in simulated time and reports to a disabled one
+        #: (pinned by tests/property/test_prop_telemetry.py).
+        self.telemetry = telemetry
         self._kernel: Optional[EventClock] = None
         # Run state between start() and finish() (fleet shared-kernel
         # runs hold several engines open across one kernel drain).
@@ -412,6 +440,13 @@ class ServeEngine:
             machine.cold_boot()
             self._service = machine.boot_secure()
         obs_metrics.registry().counter("serve.retry.service_restores").inc()
+        audit_log().record(
+            "serve.service_restored", "machine",
+            time=self._kernel.now if self._kernel is not None else 0.0,
+            detail="GPU service re-established after device loss "
+                   "(cold boot when GECS stayed bound)",
+            backend=getattr(getattr(machine, "config", None),
+                            "backend", "hix"))
 
     def _recover_session(self, client: TenantClient, guarded: "_GuardedApi",
                          crypto_eff: float) -> Iterator[WorkUnit]:
@@ -451,6 +486,13 @@ class ServeEngine:
         finally:
             clock.remove_listener(recorder)
         obs_metrics.registry().counter("serve.retry.session_recoveries").inc()
+        audit_log().record(
+            "serve.session_recovered", client.name,
+            time=self._kernel.now if self._kernel is not None else 0.0,
+            detail=f"session re-established at epoch "
+                   f"{client.session_epoch} (fresh attestation + key "
+                   f"exchange, memo invalidated)",
+            epoch=client.session_epoch)
         host, gpu = self._split(recorder.breakdown(), crypto_eff)
         yield WorkUnit(host + gpu, None, "session-recovery")
 
@@ -475,6 +517,12 @@ class ServeEngine:
         breaker = (CircuitBreaker(self._breaker_config)
                    if self._breaker_config is not None else None)
         registry = obs_metrics.registry()
+        telemetry = self.telemetry
+        audit = audit_log()
+        tenant = client.name
+
+        def vnow() -> float:
+            return self._kernel.now if self._kernel is not None else 0.0
 
         if self.capture_units:
             client.captured_units = []
@@ -494,11 +542,15 @@ class ServeEngine:
             self.table.open_context(client.record)
         except AdmissionError as exc:
             client.admission_error = str(exc)
+            denied = 0
             while client.queue:
                 request = client.queue.pop()
                 request.outcome = DENIED
                 request.error = str(exc)
                 request.error_kind = KIND_QUOTA
+                denied += 1
+            if telemetry is not None and denied:
+                telemetry.mark(shed_series(tenant), vnow(), denied)
             return
 
         recorder = _ChargeRecorder()
@@ -587,6 +639,15 @@ class ServeEngine:
                                                        deferred.attempts)):
                                 deferred.retrying = True
                                 retry_backlog.append(deferred)
+                        if telemetry is not None:
+                            telemetry.mark(bad_series(tenant), vnow(),
+                                           len(group))
+                        if kind in SECURITY_FAILURE_KINDS:
+                            audit.record(
+                                "serve.fault_detected", tenant,
+                                time=vnow(), ok=False,
+                                detail=f"deferred flush failed: {exc}",
+                                error_kind=kind)
                     else:
                         for deferred in group:
                             deferred.session_epoch = client.session_epoch
@@ -619,6 +680,8 @@ class ServeEngine:
                                            else self._queue_retry_after(
                                                client))
                     registry.counter("serve.retry.shed").inc()
+                    if telemetry is not None:
+                        telemetry.mark(shed_series(tenant), vnow())
                     yield emit(WorkUnit(0.0, None, request.label))
                     continue
             if fast and not is_retry and request.memo_key is not None:
@@ -634,17 +697,38 @@ class ServeEngine:
                     pending.append(request)
                     if gpu <= 0.0:
                         request.outcome = SERVED
+                        if telemetry is not None:
+                            telemetry.mark(good_series(tenant), vnow())
+                            telemetry.observe(latency_series(tenant),
+                                              vnow(), host)
                         yield emit(WorkUnit(host, None, request.label))
                         continue
 
+                    pulled_at = vnow()
+
                     def settle_hit(outcome: str,
-                                   request: ServeRequest = request) -> None:
+                                   request: ServeRequest = request,
+                                   pulled_at: float = pulled_at) -> None:
                         if request.retrying or request.outcome == FAILED:
                             return  # deferred execution failed at flush
                         request.outcome = (SERVED if outcome == "served"
                                            else TIMEOUT)
                         if outcome != "served":
                             request.error_kind = KIND_TIMEOUT
+                        if telemetry is not None:
+                            settled_at = vnow()
+                            if outcome == "served":
+                                telemetry.mark(good_series(tenant),
+                                               settled_at)
+                                telemetry.observe(
+                                    latency_series(tenant), settled_at,
+                                    settled_at - pulled_at
+                                    + request.gpu_seconds)
+                            else:
+                                telemetry.mark(bad_series(tenant),
+                                               settled_at)
+                                telemetry.mark(timeout_series(tenant),
+                                               settled_at)
 
                     yield emit(WorkUnit(host, gpu, request.label,
                                         deadline=request.timeout,
@@ -703,6 +787,18 @@ class ServeEngine:
                 elif request.error_kind in BREAKER_KINDS:
                     breaker.record_failure(now)
             if not ok:
+                failed_at = vnow()
+                if telemetry is not None:
+                    if request.outcome == FAILED:
+                        telemetry.mark(bad_series(tenant), failed_at)
+                    else:  # quota denial / channel backpressure: a shed
+                        telemetry.mark(shed_series(tenant), failed_at)
+                if request.error_kind in SECURITY_FAILURE_KINDS:
+                    audit.record(
+                        "serve.fault_detected", tenant, time=failed_at,
+                        ok=False,
+                        detail=f"{request.label}: {request.error}",
+                        error_kind=request.error_kind)
                 # A denied/failed request consumed host time only; any
                 # engine time it managed to charge is not scheduled.
                 yield emit(WorkUnit(host + gpu, None, request.label))
@@ -730,13 +826,29 @@ class ServeEngine:
                 # Host-only request (malloc/free/module-load): served
                 # inline, never visits the engine queue.
                 request.outcome = SERVED
+                if telemetry is not None:
+                    telemetry.mark(good_series(tenant), vnow())
+                    telemetry.observe(latency_series(tenant), vnow(), host)
                 yield emit(WorkUnit(host, None, request.label))
                 continue
 
-            def settle(outcome: str, request: ServeRequest = request) -> None:
+            pulled_at = vnow()
+
+            def settle(outcome: str, request: ServeRequest = request,
+                       pulled_at: float = pulled_at) -> None:
                 request.outcome = SERVED if outcome == "served" else TIMEOUT
                 if outcome != "served":
                     request.error_kind = KIND_TIMEOUT
+                if telemetry is not None:
+                    settled_at = vnow()
+                    if outcome == "served":
+                        telemetry.mark(good_series(tenant), settled_at)
+                        telemetry.observe(
+                            latency_series(tenant), settled_at,
+                            settled_at - pulled_at + request.gpu_seconds)
+                    else:
+                        telemetry.mark(bad_series(tenant), settled_at)
+                        telemetry.mark(timeout_series(tenant), settled_at)
 
             yield emit(WorkUnit(host, gpu, request.label,
                                 deadline=request.timeout, on_outcome=settle))
@@ -770,6 +882,11 @@ class ServeEngine:
         # were measured against.
         if all(record.contexts_open == 0 for record in self.table.tenants):
             self.memo.invalidate("all sessions closed")
+        audit.record(
+            "serve.session_closed", tenant, time=vnow(),
+            detail="enclave context destroyed with cleanse"
+                   + (" (cooperative drain)" if draining else ""),
+            epoch=client.session_epoch, drained=draining)
         host, gpu = self._split(recorder.breakdown(), crypto_eff)
         yield emit(WorkUnit(host + gpu, None, "teardown"))
 
@@ -815,6 +932,11 @@ class ServeEngine:
         off the lane accounting.
         """
         self._kernel = kernel
+        if self.telemetry is not None:
+            # Pure observation of the kernel's charges: drives the
+            # sampler's window boundaries without scheduling events or
+            # advancing any clock, so simulated time is unperturbed.
+            self.telemetry.attach(kernel)
         self._scheduler.reset()
         crypto_eff = self._crypto_eff = self._resolve_crypto_efficiency()
         # (Re)bind the memo to this run's timing configuration — any
@@ -954,8 +1076,20 @@ class ServeEngine:
             tenants=tenants,
             lanes=lane_events,
         )
+        if self.telemetry is not None:
+            self.telemetry.finalize(report.makespan)
         self._publish_metrics(report)
         return report
+
+    def slo_objectives(self) -> Dict[str, SloObjective]:
+        """Per-tenant objectives declared on admitted quotas
+        (``TenantQuota.slo``), ready for an ``AlertManager``."""
+        objectives: Dict[str, SloObjective] = {}
+        for record in self.table.tenants:
+            slo = getattr(record.quota, "slo", None)
+            if slo is not None:
+                objectives[record.name] = slo
+        return objectives
 
     def run(self, kernel: Optional[EventClock] = None) -> ServeReport:
         """Execute every queued request and return the serving report.

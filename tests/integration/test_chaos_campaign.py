@@ -2,9 +2,9 @@
 
 Exercises real fault injection against real serving runs: session
 eviction with recovery through re-attestation, GPU reset with service
-restoration, the named campaigns' two-sided verdicts, and the
-determinism contract (same campaign + same seed => byte-identical
-rendered report).
+restoration, the named campaigns' three-sided verdicts (security,
+fairness, detection), and the determinism contract (same campaign +
+same seed => byte-identical rendered report).
 """
 
 import pytest
@@ -96,7 +96,19 @@ class TestCampaigns:
         result = run_campaign("smoke", seed=0)
         assert result.ok, result.render()
         assert result.security_ok and result.fairness_ok
+        assert result.detection_ok
         assert "gpu_reset" in result.fault_kinds_fired()
+
+    def test_detection_covers_every_fired_fault(self):
+        result = run_campaign("smoke", seed=0)
+        fired = [fault for fault in result.faults if fault.fired]
+        assert len(result.detection) == len(fired)
+        for check in result.detection:
+            assert check.ok, check.render()
+            assert check.detected_at is not None
+            assert check.latency is not None
+            assert 0.0 <= check.latency <= result.detection_bound
+        assert "detection" in result.render()
 
     def test_churn_reset_campaign(self):
         result = run_campaign("churn-reset", seed=0)

@@ -1,0 +1,112 @@
+"""Property pin: windowed-percentile interpolation is bucket-exact.
+
+``bucket_quantile`` is the single quantile estimator the whole
+telemetry stack rides on (registry histograms, windowed accumulators,
+SLO latency rules).  Its contract: the inverted-CDF rank estimate must
+land inside the *same bucket* as the exact order statistic computed
+from the raw observations — so its error is bounded by that bucket's
+width — and must always lie within the observed ``[min, max]``.  This
+suite fuzzes observation sets against exact quantiles to pin both.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    bucket_quantile,
+)
+
+values = st.lists(
+    st.floats(min_value=1e-7, max_value=20.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200)
+quantiles = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+def exact_quantile(observations, q):
+    """Rank-based exact quantile: the ceil(q*n)-th smallest value."""
+    ordered = sorted(observations)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def owning_bucket(value, bounds, lo, hi):
+    """The closed interval the estimator may interpolate within for a
+    value in this bucket (open edges pinched by observed min/max)."""
+    index = 0
+    for bound in bounds:
+        if value <= bound:
+            break
+        index += 1
+    lower = bounds[index - 1] if index > 0 else 0.0
+    upper = bounds[index] if index < len(bounds) else hi
+    lower = max(lower, lo)
+    upper = max(min(upper, hi), lower)
+    return lower, upper
+
+
+class TestBucketQuantile:
+    @given(observations=values, q=quantiles)
+    @settings(max_examples=200, deadline=None)
+    def test_estimate_in_exact_values_bucket(self, observations, q):
+        histogram = Histogram("t", buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in observations:
+            histogram.observe(value)
+        estimate = histogram.quantile(q)
+        exact = exact_quantile(observations, q)
+        assert estimate is not None
+        lo, hi = min(observations), max(observations)
+        assert lo <= estimate <= hi
+        lower, upper = owning_bucket(exact, DEFAULT_LATENCY_BUCKETS,
+                                     lo, hi)
+        width = max(upper - lower, 0.0)
+        assert abs(estimate - exact) <= width + 1e-12, \
+            (estimate, exact, lower, upper)
+
+    @given(observations=values)
+    @settings(max_examples=100, deadline=None)
+    def test_extremes_are_exact(self, observations):
+        """q=0 and q=1 clamp to the observed extremes, not bucket
+        edges — the lo/hi pinch is what makes single-observation
+        windows report the observation itself."""
+        histogram = Histogram("t", buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in observations:
+            histogram.observe(value)
+        assert histogram.quantile(1.0) == max(observations)
+        assert histogram.quantile(0.0) >= min(observations)
+
+    def test_empty_is_none(self):
+        histogram = Histogram("t", buckets=DEFAULT_LATENCY_BUCKETS)
+        assert histogram.quantile(0.5) is None
+        assert bucket_quantile((1.0, 2.0), [0, 0, 0], 0.5) is None
+
+    def test_single_observation_is_itself(self):
+        histogram = Histogram("t", buckets=DEFAULT_LATENCY_BUCKETS)
+        histogram.observe(3.7e-4)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 3.7e-4
+
+    def test_interpolation_within_bucket(self):
+        # 10 observations all inside the (1e-4, 1e-3] bucket: the
+        # rank fraction interpolates linearly across the pinched
+        # [min, max] sub-interval.
+        counts = [0, 0, 0, 10, 0, 0, 0, 0, 0]
+        estimate = bucket_quantile(DEFAULT_LATENCY_BUCKETS, counts, 0.5,
+                                   lo=2e-4, hi=9e-4)
+        assert 2e-4 <= estimate <= 9e-4
+        assert bucket_quantile(DEFAULT_LATENCY_BUCKETS, counts, 1.0,
+                               lo=2e-4, hi=9e-4) == 9e-4
+
+    def test_rejects_out_of_range_q(self):
+        histogram = Histogram("t", buckets=DEFAULT_LATENCY_BUCKETS)
+        histogram.observe(1.0)
+        for bad in (-0.1, 1.5):
+            try:
+                histogram.quantile(bad)
+            except ValueError:
+                continue
+            raise AssertionError(f"q={bad} accepted")

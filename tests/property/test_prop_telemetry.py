@@ -1,0 +1,82 @@
+"""Property pin: telemetry collection is timing-invisible.
+
+The time-series sampler observes the run through the kernel clock's
+charge listener and the serve engine's settle callbacks — it must never
+*change* the run.  This suite fuzzes serve workload shapes on both TEE
+backends and pins, for telemetry enabled vs disabled, the full
+:class:`ServeReport` bit-identically (same field list as the fast-path
+pin — equality is ``==``, never ``approx``), while also requiring the
+enabled run to have actually collected per-tenant series, so the pin
+cannot pass vacuously.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.evalkit.serve_sweep import serve_run
+from repro.obs.slo import good_series, latency_series
+from repro.obs.timeseries import TimeSeriesSampler
+
+from tests.property.test_prop_fastpath import (
+    SyntheticWorkload,
+    assert_reports_identical,
+)
+
+MB = 1 << 20
+
+workloads = st.builds(
+    SyntheticWorkload,
+    modeled_h2d=st.integers(min_value=0, max_value=4 * MB),
+    modeled_d2h=st.integers(min_value=0, max_value=4 * MB),
+    n_launches=st.integers(min_value=0, max_value=24),
+    compute_seconds=st.floats(min_value=0.0, max_value=2e-3),
+)
+schedulers = st.sampled_from(["fair", "fifo", "round-robin"])
+user_counts = st.integers(min_value=1, max_value=3)
+inflations = st.sampled_from([4096.0, 65536.0])
+backends = st.sampled_from(["hix", "gpucc"])
+
+
+class TestTelemetryTimingInvisible:
+    @given(workload=workloads, users=user_counts, scheduler=schedulers,
+           inflation=inflations, backend=backends)
+    @settings(max_examples=20, deadline=None)
+    def test_report_bit_identical(self, workload, users, scheduler,
+                                  inflation, backend):
+        sampler = TimeSeriesSampler()
+        with_telemetry = serve_run(workload, users, scheduler=scheduler,
+                                   inflation=inflation, backend=backend,
+                                   telemetry=sampler)
+        without = serve_run(workload, users, scheduler=scheduler,
+                            inflation=inflation, backend=backend)
+        assert_reports_identical(with_telemetry, without)
+        # Non-vacuous: whenever anything served, the sampler holds a
+        # matching good-mark and latency series for some tenant.
+        total_served = sum(t.served for t in with_telemetry.tenants)
+        if total_served:
+            marked = sum(count for index in range(users)
+                         for _, count in sampler.mark_series(
+                             good_series(f"user{index}")))
+            assert marked == total_served
+            assert any(sampler.quantile_series(
+                           latency_series(f"user{index}"), 0.99)
+                       or sampler.mark_series(
+                           good_series(f"user{index}"))
+                       for index in range(users))
+
+    @given(workload=workloads, users=st.integers(min_value=1, max_value=2),
+           inflation=inflations)
+    @settings(max_examples=10, deadline=None)
+    def test_sampler_windows_cover_the_run(self, workload, users,
+                                           inflation):
+        """The kernel-clock listener must carry the high-water mark to
+        the end of the run, so boundary samples exist for every window
+        the run touched."""
+        sampler = TimeSeriesSampler()
+        report = serve_run(workload, users, inflation=inflation,
+                           telemetry=sampler)
+        sampler.finalize(report.makespan)
+        first, last = sampler.span()
+        assert last >= sampler.window_of(report.makespan) - 1
+        for name in sampler.names():
+            for index in sampler._marks.get(name, {}):
+                assert first <= index <= last
